@@ -1,0 +1,221 @@
+// Command adyna runs one DynNN workload on one design and prints a run
+// summary: throughput, utilizations, traffic, and the energy breakdown.
+//
+// Usage:
+//
+//	adyna -model skipnet -design adyna
+//	adyna -model dpsnet -design mtile -batch 64 -batches 100
+//	adyna -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "skipnet", "workload (see -list)")
+		design  = flag.String("design", "adyna", "design: gpu, mtile, mtenant, static, full, adyna")
+		batch   = flag.Int("batch", models.DefaultBatchSize, "batch size in samples")
+		batches = flag.Int("batches", 80, "measured batches")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		chipmap = flag.Bool("map", false, "print the scheduled chip map for each segment and exit")
+		roof    = flag.Bool("roofline", false, "print the model's roofline analysis and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(models.Names(), ", "), "(plus: adavit)")
+		fmt.Println("designs:   gpu, mtile, mtenant, static, full, adyna")
+		return
+	}
+
+	d, err := parseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adyna:", err)
+		os.Exit(1)
+	}
+	rc := core.DefaultRunConfig()
+	rc.Batch = *batch
+	rc.Batches = *batches
+	rc.Seed = *seed
+
+	if *chipmap {
+		if err := printChipMap(*model, rc); err != nil {
+			fmt.Fprintln(os.Stderr, "adyna:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *roof {
+		if err := printRoofline(*model, rc); err != nil {
+			fmt.Fprintln(os.Stderr, "adyna:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	r, err := core.Run(d, *model, rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adyna:", err)
+		os.Exit(1)
+	}
+
+	cpb := r.CyclesPerBatch()
+	ms := cpb / (rc.HW.ClockGHz * 1e6)
+	fmt.Printf("%s on %s (batch %d, %d batches, seed %d)\n", r.Design, r.Model, rc.Batch, rc.Batches, rc.Seed)
+	fmt.Printf("  latency        %.0f cycles/batch (%.3f ms at %.0f GHz)\n", cpb, ms, rc.HW.ClockGHz)
+	fmt.Printf("  throughput     %.0f samples/s\n", float64(rc.Batch)/(ms/1e3))
+	fmt.Printf("  PE utilization %.1f%%   memory BW utilization %.1f%%\n", r.PEUtil*100, r.HBMUtil*100)
+	fmt.Printf("  MACs/batch     %.3g issued (%.3g useful, %.1f%% padding waste)\n",
+		float64(r.MACs)/float64(r.Batches), float64(r.UsefulMACs)/float64(r.Batches),
+		100*(float64(r.MACs)/float64(r.UsefulMACs)-1))
+	fmt.Printf("  HBM traffic    %.3g bytes/batch\n", float64(r.HBMBytes)/float64(r.Batches))
+	if r.ReconfigCycles > 0 {
+		fmt.Printf("  reconfig       %.2f%% of runtime\n", 100*float64(r.ReconfigCycles)/float64(r.Cycles))
+	}
+	br := energy.Of(energy.Counters{
+		MACs: r.MACs, SRAMBytes: r.SRAMBytes, HBMBytes: r.HBMBytes, NoCByteHops: r.NoCByteHops,
+	})
+	n := float64(r.Batches)
+	fmt.Printf("  energy/batch   %.2f mJ (HBM %.2f, SRAM %.2f, PE+NoC %.2f)\n",
+		br.Total()/n, br.HBMmJ/n, br.SRAMmJ/n, br.PEmJ/n)
+	if lats := batchLatencies(d, *model, rc); len(lats) > 0 {
+		fmt.Printf("  batch latency  p50 %.0f  p95 %.0f  p99 %.0f cycles (window-relative)\n",
+			metrics.Percentile(lats, 0.50), metrics.Percentile(lats, 0.95), metrics.Percentile(lats, 0.99))
+	}
+}
+
+// batchLatencies reruns the machine designs briefly to collect per-batch
+// completion times (the analytic baselines have no pipeline to measure).
+func batchLatencies(d core.Design, model string, rc core.RunConfig) []float64 {
+	if d == core.DesignGPU || d == core.DesignMTenant {
+		return nil
+	}
+	w, err := models.ByName(model, rc.Batch)
+	if err != nil {
+		return nil
+	}
+	m, err := accel.New(rc.HW, w.Graph, accel.Options{})
+	if err != nil {
+		return nil
+	}
+	pol := sched.Adyna()
+	if d == core.DesignMTile {
+		pol = sched.MTile()
+	}
+	plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
+	if err != nil {
+		return nil
+	}
+	if err := m.LoadPlan(plan); err != nil {
+		return nil
+	}
+	src := workload.NewSource(rc.Seed)
+	n := rc.Batches
+	if n > 40 {
+		n = 40
+	}
+	if err := m.Run(w.GenTrace(src, n, rc.Batch)); err != nil {
+		return nil
+	}
+	var out []float64
+	for _, l := range m.Latencies() {
+		out = append(out, float64(l.Cycles()))
+	}
+	return out
+}
+
+// printChipMap schedules the model under the full Adyna policy and renders
+// every segment's tile placement.
+func printChipMap(model string, rc core.RunConfig) error {
+	w, err := models.ByName(model, rc.Batch)
+	if err != nil {
+		return err
+	}
+	m, err := accel.New(rc.HW, w.Graph, accel.Options{})
+	if err != nil {
+		return err
+	}
+	src := workload.NewSource(rc.Seed)
+	for _, b := range w.GenTrace(src, rc.Warmup, rc.Batch) {
+		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+		if err != nil {
+			return err
+		}
+		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
+			return err
+		}
+	}
+	plan, err := sched.Schedule(rc.HW, w.Graph, sched.Adyna(), m.Profiler())
+	if err != nil {
+		return err
+	}
+	for i := range plan.Segments {
+		s, err := plan.ChipMap(rc.HW, w.Graph, i)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	}
+	return nil
+}
+
+// printRoofline classifies every compute operator of the model as compute-
+// or memory-bound at the worst-case dyn values.
+func printRoofline(model string, rc core.RunConfig) error {
+	w, err := models.ByName(model, rc.Batch)
+	if err != nil {
+		return err
+	}
+	as := costmodel.Roofline(rc.HW, w.Graph, nil)
+	share, total := costmodel.RooflineSummary(as)
+	fmt.Printf("%s roofline at batch %d (ridge point %.0f FLOP/byte):\n",
+		w.Name, rc.Batch, costmodel.RidgePoint(rc.HW))
+	fmt.Printf("%-18s %12s %12s %12s %s\n", "operator", "GFLOPs", "MBytes", "FLOP/byte", "bound")
+	for _, a := range as {
+		if a.FLOPs < total/200 {
+			continue // skip trivia
+		}
+		bound := "memory"
+		if a.ComputeBound {
+			bound = "compute"
+		}
+		fmt.Printf("%-18s %12.2f %12.2f %12.0f %s\n",
+			a.Name, float64(a.FLOPs)/1e9, float64(a.Bytes)/1e6, a.Intensity, bound)
+	}
+	fmt.Printf("%.0f%% of worst-case FLOPs sit in compute-bound operators (%.1f TFLOPs/batch total)\n",
+		share*100, float64(total)/1e12)
+	return nil
+}
+
+func parseDesign(s string) (core.Design, error) {
+	switch strings.ToLower(s) {
+	case "gpu":
+		return core.DesignGPU, nil
+	case "mtile", "m-tile":
+		return core.DesignMTile, nil
+	case "mtenant", "m-tenant":
+		return core.DesignMTenant, nil
+	case "static", "adyna-static":
+		return core.DesignAdynaStatic, nil
+	case "full", "full-kernel":
+		return core.DesignFullKernel, nil
+	case "adyna":
+		return core.DesignAdyna, nil
+	}
+	return "", fmt.Errorf("unknown design %q", s)
+}

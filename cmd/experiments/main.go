@@ -1,0 +1,162 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section IX). Each experiment prints the same rows/series the
+// paper reports, computed from the simulator.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (slow)
+//	experiments -exp fig9                # one experiment
+//	experiments -exp fig9 -quick         # reduced scale
+//	experiments -exp fig13 -batches 100  # override trace length
+//
+// Experiments: table3, table4, fig6, fig9, fig10, fig11, fig12, fig13,
+// reconfig, budget, sampling, hybrid, dse, latency, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (table3,table4,fig6,fig9,fig10,fig11,fig12,fig13,reconfig,budget,sampling,hybrid,dse,latency,all)")
+		quick   = flag.Bool("quick", false, "reduced scale for a fast pass")
+		batches = flag.Int("batches", 0, "override measured batches")
+		batch   = flag.Int("batch", 0, "override batch size")
+		seed    = flag.Int64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *batches > 0 {
+		opt.RC.Batches = *batches
+	}
+	if *batch > 0 {
+		opt.RC.Batch = *batch
+	}
+	opt.RC.Seed = *seed
+
+	if err := run(strings.ToLower(*exp), opt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opt experiments.Options) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	start := time.Now()
+
+	if want("table3") {
+		fmt.Println(experiments.Table3(opt.RC.HW))
+	}
+	if want("table4") {
+		fmt.Println(experiments.Table4(opt.RC.HW))
+	}
+	if want("fig6") {
+		fig := experiments.Figure6(opt.RC.Seed, 60)
+		fmt.Println(fig)
+		st, fr, sh := experiments.Figure6Imbalance(fig)
+		fmt.Printf("mean per-batch max workload/tile: static=%.2f  freq-weighted=%.2f  +tile-sharing=%.2f\n\n",
+			st, fr, sh)
+	}
+
+	var m *experiments.Matrix
+	needMatrix := want("fig9") || want("fig10") || want("fig11")
+	if needMatrix {
+		var err error
+		m, err = experiments.RunMatrix(opt)
+		if err != nil {
+			return err
+		}
+	}
+	if want("fig9") {
+		fmt.Println(experiments.Figure9(m))
+		h := experiments.Figure9Headlines(m)
+		fmt.Printf("headlines (paper in parentheses):\n")
+		fmt.Printf("  Adyna vs M-tile    %.2fx avg (1.70x), %.2fx max (2.32x)\n", h.AdynaVsMTile, h.AdynaVsMTileMax)
+		fmt.Printf("  Adyna vs M-tenant  %.2fx avg (1.57x), %.2fx max (2.01x)\n", h.AdynaVsMTenant, h.AdynaVsMTenantMax)
+		fmt.Printf("  Adyna(static) vs M-tile  %.2fx (1.41x); runtime adjustment adds %.2fx (1.21x)\n", h.StaticVsMTile, h.RuntimeGain)
+		fmt.Printf("  Adyna reaches %.0f%% of full-kernel (87%%)\n", h.AdynaOfFullKernel*100)
+		fmt.Printf("  Adyna vs GPU       %.1fx (11.7x)\n", h.AdynaVsGPU)
+		fmt.Printf("  M-tenant vs M-tile %.2fx (1.09x)\n\n", h.MTenantVsMTile)
+	}
+	if want("fig10") {
+		fmt.Println(experiments.Figure10(m))
+	}
+	if want("fig11") {
+		fmt.Println(experiments.Figure11(m))
+	}
+	if want("fig12") {
+		fig, crossover, err := experiments.Figure12(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		fmt.Println(fig.Chart(50))
+		if crossover == crossover { // not NaN
+			fmt.Printf("crossover: real-time scheduling must decide within %.2f us to match Adyna (paper: 390 us)\n\n", crossover)
+		} else {
+			fmt.Println("no crossover inside the swept range")
+		}
+	}
+	if want("fig13") {
+		sizes := []int{1, 4, 16, 64, 128}
+		fig, err := experiments.Figure13(opt, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+	}
+	if want("reconfig") {
+		t, err := experiments.ReconfigSweep(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if want("budget") {
+		fig, err := experiments.KernelBudgetSweep(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+	}
+	if want("sampling") {
+		fmt.Println(experiments.SamplingDemo(opt.RC.Seed))
+	}
+	if want("latency") {
+		t, err := experiments.LatencyTable(opt, "skipnet")
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if want("dse") {
+		t, err := experiments.DSESweep(opt, "skipnet")
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if want("hybrid") {
+		t, err := experiments.HybridDemo(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	if exp == "all" {
+		fmt.Printf("(all experiments completed in %.1fs; rc: batch=%d batches=%d seed=%d)\n",
+			time.Since(start).Seconds(), opt.RC.Batch, opt.RC.Batches, opt.RC.Seed)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRunLightExperiments smoke-tests the CLI glue for the cheap experiments
+// (the heavy figures are exercised by the experiments package tests and the
+// root benchmarks).
+func TestRunLightExperiments(t *testing.T) {
+	opt := experiments.Quick()
+	for _, exp := range []string{"table3", "table4", "fig6", "sampling"} {
+		if err := run(exp, opt); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// An unrecognized name matches nothing and must not error.
+	if err := run("doesnotexist", experiments.Quick()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordThenInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	if err := run("skipnet", 8, 3, 1, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("recording missing: %v", err)
+	}
+	if err := run("", 0, 0, 0, "", out); err != nil {
+		t.Fatalf("inspecting the recording: %v", err)
+	}
+}
+
+func TestGenerateAndInspectInline(t *testing.T) {
+	if err := run("tutel-moe", 8, 2, 3, "", "-"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNothingToDo(t *testing.T) {
+	if err := run("skipnet", 8, 2, 1, "", ""); err == nil {
+		t.Fatal("expected nothing-to-do error")
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if err := run("nope", 8, 2, 1, "", "-"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

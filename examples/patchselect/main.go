@@ -1,0 +1,58 @@
+// Patch selection at scale: DPSNet folds 64 patches per image onto the
+// batch dimension, so at batch 128 the dynamic dimension reaches 8192 —
+// the stress case for multi-kernel sampling. This example sweeps batch
+// sizes (the paper's Figure 13 axis) and shows how Adyna's advantage over
+// the worst-case M-tile baseline grows with batch size, then demonstrates
+// the kernel-budget tradeoff of Section VII.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/adyna"
+)
+
+func main() {
+	rc := adyna.DefaultRunConfig()
+	rc.Batches = 40
+	rc.Warmup = 16
+
+	fmt.Println("DPSNet (64 patches/image folded onto the batch dimension)")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %16s %16s %9s\n", "batch", "dyn range", "M-tile cyc/b", "Adyna cyc/b", "speedup")
+	for _, bs := range []int{4, 16, 64, 128} {
+		rc := rc
+		rc.Batch = bs
+		mt, err := adyna.Run(adyna.DesignMTile, "dpsnet", rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ad, err := adyna.Run(adyna.DesignAdyna, "dpsnet", rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %12d %16.0f %16.0f %8.2fx\n",
+			bs, bs*64, mt.CyclesPerBatch(), ad.CyclesPerBatch(), ad.SpeedupOver(mt))
+	}
+	fmt.Println()
+	fmt.Println("Larger batches fold more patches onto the dynamic dimension, widening")
+	fmt.Println("the gap between the worst case (all patches) and the typical case")
+	fmt.Println("(the informative patches) - which is exactly what Adyna exploits.")
+
+	// Kernel budget: how many sampled kernels per operator does DPSNet need?
+	fmt.Println()
+	fmt.Printf("%-22s %16s\n", "kernels per operator", "Adyna cyc/batch")
+	rc.Batch = 128
+	for _, budget := range []int{1, 2, 4, 8, 16, 33} {
+		r, err := adyna.RunWithKernelBudget(adyna.DesignAdyna, "dpsnet", rc, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22d %16.0f\n", budget, r.CyclesPerBatch())
+	}
+	fmt.Println()
+	fmt.Println("A single kernel degenerates toward worst-case execution; a handful of")
+	fmt.Println("well-sampled kernels recovers almost all of the benefit - the paper's")
+	fmt.Println("motivation for multi-kernel sampling under the 25.6 kB on-chip budget.")
+}

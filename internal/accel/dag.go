@@ -1,0 +1,131 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// edgeKind distinguishes payload edges from control-only (routing mask)
+// edges in the entity-level pipeline DAG.
+type edgeKind int
+
+const (
+	edgeData edgeKind = iota
+	edgeMask
+)
+
+// prodEdge describes one producer of an entity: which entity produces the
+// data, whether it is a payload or mask edge, and whether the path crossed a
+// merge operator (which changes how transfer bytes are attributed: each
+// branch tail sends its own share).
+type prodEdge struct {
+	from     graph.OpID
+	kind     edgeKind
+	viaMerge bool
+}
+
+// segDAG is the entity-level pipeline structure of one segment: who feeds
+// whom, which entities read from / write to HBM, and the topological order.
+type segDAG struct {
+	leads      []graph.OpID
+	prods      map[graph.OpID][]prodEdge
+	cons       map[graph.OpID][]graph.OpID
+	boundaryIn map[graph.OpID]bool
+	isProducer map[graph.OpID]bool
+}
+
+// buildDAG derives the entity DAG of a segment by resolving each entity
+// lead's graph inputs through the control operators (switch, merge, sink).
+func buildDAG(g *graph.Graph, seg *sched.Segment) (*segDAG, error) {
+	d := &segDAG{
+		prods:      map[graph.OpID][]prodEdge{},
+		cons:       map[graph.OpID][]graph.OpID{},
+		boundaryIn: map[graph.OpID]bool{},
+		isProducer: map[graph.OpID]bool{},
+	}
+	inSeg := map[graph.OpID]bool{}
+	for _, id := range seg.Ops {
+		inSeg[id] = true
+	}
+	// Leads in the order they appear in seg.Ops (topological).
+	seen := map[graph.OpID]bool{}
+	for _, id := range seg.Ops {
+		if lead, ok := seg.EntityOf[id]; ok && lead == id && !seen[id] {
+			seen[id] = true
+			d.leads = append(d.leads, id)
+		}
+	}
+	for _, lead := range d.leads {
+		edges, boundary, err := resolveProducers(g, seg, inSeg, lead)
+		if err != nil {
+			return nil, err
+		}
+		d.prods[lead] = edges
+		d.boundaryIn[lead] = boundary
+		for _, e := range edges {
+			d.cons[e.from] = append(d.cons[e.from], lead)
+			d.isProducer[e.from] = true
+		}
+	}
+	return d, nil
+}
+
+// resolveProducers walks the data inputs of an entity lead through control
+// operators to the producing entities inside the segment. boundary reports
+// whether any path left the segment (the entity then streams that input from
+// HBM).
+func resolveProducers(g *graph.Graph, seg *sched.Segment, inSeg map[graph.OpID]bool, lead graph.OpID) ([]prodEdge, bool, error) {
+	var edges []prodEdge
+	boundary := false
+	seen := map[graph.OpID]bool{}
+	var walk func(id graph.OpID, kind edgeKind, viaMerge bool, depth int) error
+	walk = func(id graph.OpID, kind edgeKind, viaMerge bool, depth int) error {
+		if depth > len(g.Ops) {
+			return fmt.Errorf("accel: producer resolution runaway at op %s", g.Op(id).Name)
+		}
+		if e, ok := seg.EntityOf[id]; ok {
+			if e == lead {
+				return nil // self-loop through a fused follower: ignore
+			}
+			key := e
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, prodEdge{from: e, kind: kind, viaMerge: viaMerge})
+			}
+			return nil
+		}
+		op := g.Op(id)
+		if !inSeg[id] {
+			boundary = true
+			return nil
+		}
+		switch op.Kind {
+		case graph.KindInput:
+			boundary = true
+		case graph.KindSwitch:
+			if err := walk(op.Inputs[0], kind, viaMerge, depth+1); err != nil {
+				return err
+			}
+			// The routing mask must also have arrived (control edge).
+			return walk(op.Inputs[1], edgeMask, viaMerge, depth+1)
+		case graph.KindMerge:
+			for _, in := range op.Inputs {
+				if err := walk(in, kind, true, depth+1); err != nil {
+					return err
+				}
+			}
+		default:
+			// A compute op outside this segment's entity table.
+			boundary = true
+		}
+		return nil
+	}
+	for _, in := range g.Op(lead).Inputs {
+		if err := walk(in, edgeData, false, 0); err != nil {
+			return nil, false, err
+		}
+	}
+	return edges, boundary, nil
+}

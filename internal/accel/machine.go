@@ -1,0 +1,570 @@
+// Package accel is the transaction-level simulator of the Adyna accelerator
+// (Section VI): a multi-tile machine executing a scheduled plan over a
+// routing trace. Operators run pipelined on their tile groups in dyn-block
+// chunks; the kernel dispatcher selects the best-matching kernel per actual
+// dyn value; switches route data across the torus NoC with probe/ack
+// synchronization; the profiler feeds frequency statistics back to the
+// scheduler; reconfigurations drain the pipeline and reload kernel stores.
+//
+// The same machine simulates the M-tile baseline and the full-kernel ideal:
+// those differ only in the plan's policy bits (worst-case kernels without
+// runtime fitting, or a dense kernel store).
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chunksPerJob is the pipelining granularity inside one (batch, segment)
+// job: entities stream their work in this many dyn-block chunks so that
+// downstream stages start before upstream ones finish.
+const chunksPerJob = 8
+
+// drainPenaltyCycles is the fixed control cost of a reconfiguration beyond
+// the natural pipeline drain (barrier broadcast, controller reload).
+const drainPenaltyCycles = 2000
+
+// Options tune machine behaviour for specific experiments.
+type Options struct {
+	// OnlineSchedLatencyCycles models the real-time scheduling alternative
+	// of Figure 12: this many cycles of host scheduling latency are paid
+	// before every dynamic entity invocation.
+	OnlineSchedLatencyCycles int64
+}
+
+// Stats accumulates everything the evaluation figures need.
+type Stats struct {
+	Cycles           int64
+	Batches          int
+	MACs             int64 // issued MACs, including padding/alignment waste
+	UsefulMACs       int64 // MACs strictly required by the actual dyn values
+	SRAMBytes        int64
+	HBMBytes         int64
+	NoCByteHops      int64
+	PEBusyTileCycles int64 // sum over invocations of cycles x tiles occupied
+	ReconfigCycles   int64
+	Reconfigs        int
+	KernelSelections int64
+}
+
+// Machine simulates one accelerator executing one dynamic operator graph.
+type Machine struct {
+	cfg  hw.Config
+	g    *graph.Graph
+	opts Options
+
+	env  *sim.Env
+	hbm  *mem.HBM
+	noc  *noc.NoC
+	prof *profiler.Profiler
+
+	plan *sched.Plan
+	dags map[int]*segDAG
+	// batchDone records, for every batch of every Run window, the simulated
+	// time its final-segment job completed and the window start time —
+	// the machine's per-batch latency record.
+	batchDone []BatchLatency
+	// entityTok holds one token per entity lead: an entity's tiles process
+	// one job at a time, in spawn (batch) order. Acquiring the token is what
+	// serializes a pipeline stage across in-flight batches.
+	entityTok map[graph.OpID]*sim.Store
+
+	stats Stats
+}
+
+// New builds a machine for cfg and g.
+func New(cfg hw.Config, g *graph.Graph, opts Options) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	return &Machine{
+		cfg:       cfg,
+		g:         g,
+		opts:      opts,
+		env:       env,
+		hbm:       mem.New(env, cfg),
+		noc:       noc.New(env, cfg),
+		prof:      profiler.New(g),
+		entityTok: map[graph.OpID]*sim.Store{},
+	}, nil
+}
+
+// Profiler exposes the on-chip profiler (the scheduler reads it between
+// windows, as the hardware would report over the host link).
+func (m *Machine) Profiler() *profiler.Profiler { return m.prof }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time { return m.env.Now() }
+
+// LoadPlan installs a plan. The first load is free (initial configuration);
+// subsequent loads model a reconfiguration: the pipeline has already drained
+// (Run drains), kernel stores are re-loaded through HBM, and a fixed control
+// penalty applies.
+func (m *Machine) LoadPlan(p *sched.Plan) error {
+	if err := p.Validate(m.cfg, m.g); err != nil {
+		return err
+	}
+	dags := map[int]*segDAG{}
+	for _, seg := range p.Segments {
+		d, err := buildDAG(m.g, seg)
+		if err != nil {
+			return err
+		}
+		dags[seg.Index] = d
+	}
+	if m.plan != nil {
+		var kernelBytes int64
+		for _, seg := range p.Segments {
+			for _, op := range seg.Plans {
+				for _, o := range op.Options {
+					kernelBytes += int64(o.KernelCount() * m.cfg.KernelMetaBytes)
+				}
+			}
+		}
+		start := m.env.Now()
+		done := m.hbm.Reserve(kernelBytes) + drainPenaltyCycles
+		m.env.At(done, func() {})
+		m.env.Run()
+		m.stats.ReconfigCycles += int64(m.env.Now() - start)
+		m.stats.Reconfigs++
+	}
+	m.plan = p
+	m.dags = dags
+	m.entityTok = map[graph.OpID]*sim.Store{}
+	return nil
+}
+
+// Stats returns the accumulated statistics. HBM and NoC counters are read
+// from the substrate models so every byte they moved is included.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = int64(m.env.Now())
+	s.HBMBytes = m.hbm.TotalBytes()
+	s.NoCByteHops = m.noc.ByteHops()
+	return s
+}
+
+// PEUtilization returns issued-MAC utilization of the PE array so far
+// (Figure 10, left).
+func (m *Machine) PEUtilization() float64 {
+	s := m.Stats()
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(m.cfg.TotalPEs()) * float64(s.Cycles))
+}
+
+// HBMUtilization returns achieved memory bandwidth over peak (Figure 10,
+// right).
+func (m *Machine) HBMUtilization() float64 {
+	s := m.Stats()
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.HBMBytes) / (m.cfg.HBMBytesPerCycle() * float64(s.Cycles))
+}
+
+// jobEntity is one entity's state within a job.
+type jobEntity struct {
+	lead    graph.OpID
+	plan    *sched.OpPlan
+	opt     *sched.AllocOption
+	eval    costmodel.Eval
+	units   int
+	inputs  []*jobEdge
+	outputs []*jobEdge
+	group   *sim.Store // temporal-sharing token (nil when ungrouped)
+	readHBM bool
+	writHBM bool
+	dynamic bool
+}
+
+// jobEdge is one producer-consumer link within a job.
+type jobEdge struct {
+	bytes int64
+	store *sim.Store
+	from  graph.OpID
+	to    graph.OpID
+}
+
+// BatchLatency is one batch's completion record.
+type BatchLatency struct {
+	// Start is when the batch's window began executing; Done is when its
+	// last segment finished.
+	Start, Done sim.Time
+}
+
+// Cycles returns the batch's window-relative latency.
+func (l BatchLatency) Cycles() int64 { return int64(l.Done - l.Start) }
+
+// Latencies returns the per-batch completion records accumulated so far.
+func (m *Machine) Latencies() []BatchLatency {
+	return append([]BatchLatency(nil), m.batchDone...)
+}
+
+// job is one (batch, segment) unit of pipelined execution.
+type job struct {
+	seg         *sched.Segment
+	ents        []*jobEntity
+	done        *sim.Signal
+	remaining   int
+	weightReady sim.Time
+	notBefore   sim.Time
+}
+
+// inflightJobs bounds how many same-segment jobs (batches) may be in flight
+// at once; it must exceed the deepest pipeline so batch-to-batch streaming
+// reaches steady state.
+const inflightJobs = 64
+
+// Run processes the batches through the current plan and blocks until the
+// pipeline drains. Statistics and the profiler accumulate; call LoadPlan
+// with a fresh schedule between Run windows to model periodic
+// reconfiguration.
+//
+// Execution is segment-major: the whole batch window streams through
+// segment 0 (operator pipelining across batches, intermediates staged in
+// HBM at the segment boundary), then the chip reconfigures to segment 1, and
+// so on — the standard way multi-tile accelerators amortize segment weights
+// over a batch window.
+func (m *Machine) Run(batches []workload.Batch) error {
+	if m.plan == nil {
+		return fmt.Errorf("accel: no plan loaded")
+	}
+	// Resolve routing and feed the profiler up front (batch order; the
+	// hardware profiler is insensitive to the segment-major execution
+	// order).
+	unitsPer := make([]map[graph.OpID]int, len(batches))
+	for i, b := range batches {
+		units, err := m.g.AssignUnits(b.Units, b.Routing)
+		if err != nil {
+			return err
+		}
+		if err := m.prof.ObserveBatch(units, b.Routing); err != nil {
+			return err
+		}
+		unitsPer[i] = units
+		m.stats.Batches++
+		for _, id := range m.g.ComputeOps() {
+			op := m.g.Op(id)
+			m.stats.UsefulMACs += op.MACsPerUnit * int64(units[id])
+		}
+	}
+	var runErr error
+	windowStart := m.env.Now()
+	lastSeg := len(m.plan.Segments) - 1
+	m.env.Go("driver", func(p *sim.Proc) {
+		var inflight []*sim.Signal
+		for si, seg := range m.plan.Segments {
+			// Prefetch this segment's weights, then drain the previous
+			// segment before its tiles are reconfigured.
+			weightReady := m.hbm.Reserve(seg.WeightBytes)
+			if n := len(inflight); n > 0 {
+				inflight[n-1].Await(p)
+				inflight = inflight[:0]
+			}
+			notBefore := p.Now()
+			if si > 0 {
+				m.entityTok = map[graph.OpID]*sim.Store{}
+			}
+			for i := range batches {
+				j, err := m.prepareJob(seg, unitsPer[i])
+				if err != nil {
+					if runErr == nil {
+						runErr = err
+					}
+					return
+				}
+				j.weightReady = weightReady
+				j.notBefore = notBefore
+				m.spawnJob(j)
+				if si == lastSeg {
+					// Record the batch's completion for latency statistics.
+					done := j.done
+					m.env.Go("latency", func(lp *sim.Proc) {
+						done.Await(lp)
+						m.batchDone = append(m.batchDone, BatchLatency{Start: windowStart, Done: lp.Now()})
+					})
+				}
+				inflight = append(inflight, j.done)
+				if len(inflight) > inflightJobs {
+					inflight[len(inflight)-1-inflightJobs].Await(p)
+				}
+			}
+		}
+		if n := len(inflight); n > 0 {
+			inflight[n-1].Await(p)
+		}
+	})
+	m.env.Run()
+	if runErr == nil && m.env.Live() > 0 {
+		blocked := m.env.BlockedProcs()
+		if len(blocked) > 8 {
+			blocked = blocked[:8]
+		}
+		return fmt.Errorf("accel: deadlock: %d processes blocked after drain (e.g. %v)",
+			m.env.Live(), blocked)
+	}
+	return runErr
+}
+
+// prepareJob computes per-entity dyn values, tile-sharing option choices,
+// cost evaluations, and the edge/byte structure for one job.
+func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job, error) {
+	d := m.dags[seg.Index]
+	pol := m.plan.Policy
+	j := &job{seg: seg, done: sim.NewSignal(m.env)}
+	ents := map[graph.OpID]*jobEntity{}
+
+	// Effective units: without runtime fitting the hardware pays the padded
+	// worst case in both compute and data movement.
+	eff := func(id graph.OpID) int {
+		if pol.RuntimeFitting {
+			return units[id]
+		}
+		return m.g.Op(id).MaxUnits
+	}
+
+	// Tile-sharing option choice per pair (Section V-B): the pair leader
+	// picks the ratio minimizing the slower partner.
+	optIdx := map[graph.OpID]int{}
+	for _, lead := range d.leads {
+		op := seg.Plans[lead]
+		if op.Partner == graph.None || !op.PairLeader {
+			continue
+		}
+		partner := seg.Plans[op.Partner]
+		best, bestScore := 0, int64(-1)
+		for k := range op.Options {
+			ea, err := m.plan.EvaluateEntity(m.cfg, m.g, op, op.Options[k], eff(lead))
+			if err != nil {
+				return nil, err
+			}
+			eb, err := m.plan.EvaluateEntity(m.cfg, m.g, partner, partner.Options[k], eff(op.Partner))
+			if err != nil {
+				return nil, err
+			}
+			score := ea.Cycles
+			if eb.Cycles > score {
+				score = eb.Cycles
+			}
+			if bestScore < 0 || score < bestScore {
+				best, bestScore = k, score
+			}
+		}
+		optIdx[lead] = best
+		optIdx[op.Partner] = best
+	}
+
+	groups := map[graph.OpID]*sim.Store{}
+	for _, lead := range d.leads {
+		op := seg.Plans[lead]
+		k := optIdx[lead] // 0 default
+		if k >= len(op.Options) {
+			k = 0
+		}
+		opt := op.Options[k]
+		v := eff(lead)
+		ev, err := m.plan.EvaluateEntity(m.cfg, m.g, op, opt, v)
+		if err != nil {
+			return nil, err
+		}
+		je := &jobEntity{
+			lead:    lead,
+			plan:    op,
+			opt:     opt,
+			eval:    ev,
+			units:   v,
+			readHBM: d.boundaryIn[lead],
+			writHBM: !d.isProducer[lead],
+			dynamic: m.g.Op(lead).Dynamic,
+		}
+		if op.GroupLeader != graph.None {
+			gs, ok := groups[op.GroupLeader]
+			if !ok {
+				gs = sim.NewStore(m.env, 1)
+				gs.TryPut(struct{}{})
+				groups[op.GroupLeader] = gs
+			}
+			je.group = gs
+		}
+		ents[lead] = je
+		j.ents = append(j.ents, je)
+	}
+	// Each entity contributes two completions: its compute process and its
+	// network-interface sender.
+	j.remaining = 2 * len(j.ents)
+
+	// Wire the edges with their per-job payload sizes.
+	for _, lead := range d.leads {
+		consumer := ents[lead]
+		cOp := m.g.Op(lead)
+		for _, pe := range d.prods[lead] {
+			producer := ents[pe.from]
+			if producer == nil {
+				continue
+			}
+			var bytes int64
+			switch {
+			case pe.kind == edgeMask:
+				bytes = 64 // routing mask metadata packet
+			case pe.viaMerge:
+				// Each branch tail sends its own units' worth.
+				bytes = cOp.InBytesPerUnit * int64(eff(pe.from))
+			default:
+				bytes = cOp.InBytesPerUnit * int64(eff(lead))
+			}
+			e := &jobEdge{
+				bytes: bytes,
+				store: sim.NewStore(m.env, chunksPerJob/2),
+				from:  pe.from,
+				to:    lead,
+			}
+			consumer.inputs = append(consumer.inputs, e)
+			producer.outputs = append(producer.outputs, e)
+		}
+	}
+	return j, nil
+}
+
+// spawnJob launches one process per entity; they synchronize through edge
+// stores, group tokens, and the per-entity pipeline-stage availability.
+func (m *Machine) spawnJob(j *job) {
+	for _, je := range j.ents {
+		je := je
+		tok, ok := m.entityTok[je.lead]
+		if !ok {
+			tok = sim.NewStore(m.env, 1)
+			tok.TryPut(struct{}{})
+			m.entityTok[je.lead] = tok
+		}
+		m.env.Go(m.g.Op(je.lead).Name, func(p *sim.Proc) {
+			// Serialize this pipeline stage across in-flight batches: the
+			// token is granted in spawn (batch) order.
+			tok.Get(p)
+			defer func() {
+				tok.TryPut(struct{}{})
+				j.remaining--
+				if j.remaining == 0 {
+					j.done.Fire()
+				}
+			}()
+			m.runEntity(p, j, je)
+		})
+	}
+}
+
+// runEntity executes one entity's chunks for one job.
+func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
+	// Segment ordering and weight availability (stage exclusivity across
+	// batches is enforced by the entity token held by the caller).
+	start := j.notBefore
+	if j.weightReady > start {
+		start = j.weightReady
+	}
+	if start > p.Now() {
+		p.Wait(start - p.Now())
+	}
+	// Real-time scheduling alternative: pay the host scheduling latency
+	// before every dynamic operator invocation (Figure 12).
+	if je.dynamic && je.units > 0 && m.opts.OnlineSchedLatencyCycles > 0 {
+		p.Wait(sim.Time(m.opts.OnlineSchedLatencyCycles))
+	}
+	if je.units > 0 {
+		m.stats.MACs += je.eval.MACs
+		m.stats.SRAMBytes += je.eval.SRAMBytes
+		m.stats.PEBusyTileCycles += je.eval.Cycles * int64(je.opt.Tiles)
+		m.stats.KernelSelections++
+	}
+	src := noc.Centroid(je.plan.Region)
+
+	chunkOf := func(total int64, c int) int64 {
+		share := total / chunksPerJob
+		if c == chunksPerJob-1 {
+			return total - share*int64(chunksPerJob-1)
+		}
+		return share
+	}
+	// The network interface runs as its own engine (Figure 7): it forwards
+	// finished chunks — probe/ack handshake, then the payload over the NoC —
+	// while the PE array already computes the next chunk. The entity's
+	// pipeline-stage token is released when compute finishes; delivery
+	// completion is tracked by the job.
+	sendQ := sim.NewStore(m.env, 0)
+	m.env.Go(m.g.Op(je.lead).Name+"/ni", func(sp *sim.Proc) {
+		defer func() {
+			j.remaining--
+			if j.remaining == 0 {
+				j.done.Fire()
+			}
+		}()
+		for c := 0; c < chunksPerJob; c++ {
+			sendQ.Get(sp)
+			for _, e := range je.outputs {
+				toPlan := j.seg.Plans[e.to]
+				dst := noc.Centroid(toPlan.Region)
+				if n := chunkOf(e.bytes, c); n > 0 {
+					ways := je.plan.Region[1]
+					if w := toPlan.Region[1]; w < ways {
+						ways = w
+					}
+					m.noc.Probe(sp, src, dst)
+					m.noc.Transfer(sp, src, dst, n, ways)
+				}
+				e.store.Put(sp, struct{}{})
+			}
+			// Boundary outputs drain to HBM (non-blocking reservation: the
+			// write-back DMA competes for bandwidth, not for the PEs).
+			if je.writHBM {
+				if n := chunkOf(je.eval.OutBytes, c); n > 0 {
+					m.hbm.ReserveWrite(n)
+				}
+			}
+		}
+	})
+
+	for c := 0; c < chunksPerJob; c++ {
+		// Gather this chunk from every producer.
+		for _, e := range je.inputs {
+			e.store.Get(p)
+		}
+		// Stream boundary inputs and weights from HBM, overlapped with the
+		// chunk's compute up to the bandwidth limit.
+		var hbmDone sim.Time
+		if je.readHBM {
+			if n := chunkOf(je.eval.InBytes, c); n > 0 {
+				hbmDone = m.hbm.Reserve(n)
+			}
+		}
+		if n := chunkOf(je.eval.HBMWeightBytes, c); n > 0 {
+			if t := m.hbm.Reserve(n); t > hbmDone {
+				hbmDone = t
+			}
+		}
+		// Compute, serializing with temporal group partners.
+		if cyc := chunkOf(je.eval.Cycles, c); cyc > 0 {
+			if je.group != nil {
+				je.group.Get(p)
+			}
+			p.Wait(sim.Time(cyc))
+			if je.group != nil {
+				je.group.TryPut(struct{}{})
+			}
+		}
+		if hbmDone > p.Now() {
+			p.Wait(hbmDone - p.Now())
+		}
+		sendQ.TryPut(c)
+	}
+}

@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/workload"
+)
+
+func trace(t testing.TB, name string, batch, n int) (*models.Workload, []workload.Batch) {
+	t.Helper()
+	w, err := models.ByName(name, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workload.NewSource(5)
+	return w, w.GenTrace(src, n, batch)
+}
+
+func TestGPURunsAllModels(t *testing.T) {
+	cfg := hw.Default()
+	for _, name := range models.Names() {
+		w, tr := trace(t, name, 32, 5)
+		r, err := GPU(cfg, w, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Cycles <= 0 || r.Batches != 5 {
+			t.Fatalf("%s: bad result %+v", name, r)
+		}
+		if r.PEUtil <= 0 || r.PEUtil > 1 || r.HBMUtil <= 0 || r.HBMUtil > 1 {
+			t.Fatalf("%s: utilizations out of range: %+v", name, r)
+		}
+		if r.MACs < r.UsefulMACs {
+			t.Fatalf("%s: issued < useful MACs", name)
+		}
+	}
+}
+
+func TestMTenantRunsAllModels(t *testing.T) {
+	cfg := hw.Default()
+	for _, name := range models.Names() {
+		w, tr := trace(t, name, 32, 5)
+		r, err := MTenant(cfg, w, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Cycles <= 0 || r.Batches != 5 {
+			t.Fatalf("%s: bad result %+v", name, r)
+		}
+		if r.NoCByteHops != 0 {
+			t.Fatalf("%s: M-tenant must not use on-chip forwarding", name)
+		}
+		if r.HBMBytes == 0 {
+			t.Fatalf("%s: M-tenant stages everything through HBM", name)
+		}
+	}
+}
+
+func TestGPUSlowestOnExclusiveRouting(t *testing.T) {
+	// Dynamic operators without a fused routing library degrade hard; the
+	// GPU must be far slower than M-tenant on SkipNet.
+	cfg := hw.Default()
+	w, tr := trace(t, "skipnet", 64, 5)
+	gpu, err := GPU(cfg, w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := MTenant(cfg, w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.CyclesPerBatch() < 3*mt.CyclesPerBatch() {
+		t.Fatalf("GPU (%0.f) should be much slower than M-tenant (%0.f) on SkipNet",
+			gpu.CyclesPerBatch(), mt.CyclesPerBatch())
+	}
+}
+
+func TestGPUFusedRoutingHelpsMoE(t *testing.T) {
+	// Tutel's fused kernels keep the MoE GPU gap small: the ratio of GPU
+	// time to useful-MAC-ideal time must be far better for MoE than SkipNet.
+	cfg := hw.Default()
+	ws, trs := trace(t, "skipnet", 64, 5)
+	wm, trm := trace(t, "tutel-moe", 64, 5)
+	gs, err := GPU(cfg, ws, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := GPU(cfg, wm, trm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := func(r struct {
+		cycles, useful float64
+	}) float64 {
+		return r.cycles / (r.useful / float64(cfg.TotalPEs()))
+	}
+	slowdownSkip := ideal(struct{ cycles, useful float64 }{float64(gs.Cycles), float64(gs.UsefulMACs)})
+	slowdownMoE := ideal(struct{ cycles, useful float64 }{float64(gm.Cycles), float64(gm.UsefulMACs)})
+	if slowdownMoE >= slowdownSkip {
+		t.Fatalf("MoE GPU inefficiency (%.1fx) should be below SkipNet's (%.1fx)",
+			slowdownMoE, slowdownSkip)
+	}
+}
+
+func TestMTenantSkipsInactiveTenants(t *testing.T) {
+	// A branch receiving zero units must not be launched: MACs must be well
+	// below the all-branches worst case.
+	cfg := hw.Default()
+	w, tr := trace(t, "fbsnet", 32, 5)
+	r, err := MTenant(cfg, w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst int64
+	for _, op := range w.Graph.Ops {
+		worst += op.TotalMACs(op.MaxUnits)
+	}
+	worst *= int64(len(tr))
+	if r.MACs >= worst {
+		t.Fatalf("M-tenant MACs %d should undercut the padded worst case %d", r.MACs, worst)
+	}
+}
+
+func TestLevelizeRespectsDependencies(t *testing.T) {
+	w, _ := trace(t, "skipnet", 8, 1)
+	waves := levelize(w.Graph)
+	pos := map[int]int{}
+	for wi, wave := range waves {
+		for _, id := range wave {
+			pos[int(id)] = wi
+		}
+	}
+	count := 0
+	for _, op := range w.Graph.Ops {
+		if !op.Kind.IsCompute() {
+			continue
+		}
+		count++
+		for _, in := range op.Inputs {
+			if w.Graph.Op(in).Kind.IsCompute() && pos[int(in)] >= pos[int(op.ID)] {
+				t.Fatalf("producer %v not in an earlier wave than %v", in, op.ID)
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no compute ops levelized")
+	}
+}
+
+func TestPartitionTilesBounds(t *testing.T) {
+	cfg := hw.Default()
+	w, tr := trace(t, "tutel-moe", 64, 1)
+	units, err := w.Graph.AssignUnits(tr[0].Units, tr[0].Routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wave := range levelize(w.Graph) {
+		tiles := partitionTiles(cfg, w.Graph, wave, units)
+		total := 0
+		for _, id := range wave {
+			if tiles[id] < 1 {
+				t.Fatalf("op %v got %d tiles", id, tiles[id])
+			}
+			total += tiles[id]
+		}
+		if total > cfg.Tiles() {
+			t.Fatalf("wave uses %d tiles, chip has %d", total, cfg.Tiles())
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	cfg := hw.Default()
+	w1, tr1 := trace(t, "pabee", 16, 3)
+	w2, tr2 := trace(t, "pabee", 16, 3)
+	a, err := GPU(cfg, w1, tr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GPU(cfg, w2, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.HBMBytes != b.HBMBytes {
+		t.Fatal("GPU baseline not deterministic")
+	}
+}

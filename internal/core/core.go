@@ -1,0 +1,291 @@
+// Package core orchestrates the full Adyna workflow of Figure 4 — the
+// paper's primary contribution assembled from the substrates: the model
+// parser output (a dynamic operator graph), the dynamism-aware scheduler,
+// the multi-kernel hardware machine, the on-chip profiler, and the periodic
+// re-scheduling / re-sampling loop. It also runs every comparison design of
+// the evaluation under identical traces.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baselines"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Design identifies one of the systems compared in Figure 9 (plus the
+// real-time scheduling alternative of Figure 12).
+type Design string
+
+// The designs of the evaluation.
+const (
+	DesignGPU         Design = "GPU"
+	DesignMTile       Design = "M-tile"
+	DesignMTenant     Design = "M-tenant"
+	DesignAdynaStatic Design = "Adyna(static)"
+	DesignFullKernel  Design = "full-kernel"
+	DesignAdyna       Design = "Adyna"
+	DesignRealtime    Design = "real-time"
+)
+
+// Figure9Designs lists the designs of the overall-performance figure, in the
+// paper's order.
+func Figure9Designs() []Design {
+	return []Design{DesignGPU, DesignMTile, DesignMTenant, DesignAdynaStatic, DesignFullKernel, DesignAdyna}
+}
+
+// RunConfig parameterizes one simulated run.
+type RunConfig struct {
+	// HW is the accelerator configuration (Table III by default).
+	HW hw.Config
+	// Batch is the batch size in samples (paper default: 128).
+	Batch int
+	// Batches is the measured trace length.
+	Batches int
+	// Warmup is the number of profile-only batches fed to the profiler
+	// before scheduling (Adyna's "initial profiling result").
+	Warmup int
+	// Seed drives all trace randomness.
+	Seed int64
+	// OnlineSchedCycles is the per-dynamic-operator host scheduling latency
+	// of the real-time design (Figure 12's swept variable).
+	OnlineSchedCycles int64
+}
+
+// ExecWindow is the batch-window granularity every machine design executes
+// at (the paper's 40-batch reconfiguration period).
+const ExecWindow = 40
+
+// DefaultRunConfig returns the evaluation defaults.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		HW:      hw.Default(),
+		Batch:   models.DefaultBatchSize,
+		Batches: 200,
+		Warmup:  40,
+		Seed:    1,
+	}
+}
+
+func (rc RunConfig) validate() error {
+	if rc.Batch < 1 || rc.Batches < 1 {
+		return fmt.Errorf("core: batch %d / batches %d must be positive", rc.Batch, rc.Batches)
+	}
+	if rc.Warmup < 0 {
+		return fmt.Errorf("core: negative warmup %d", rc.Warmup)
+	}
+	return rc.HW.Validate()
+}
+
+// policyFor maps a design to its scheduling policy (machine-based designs
+// only).
+func policyFor(d Design) (sched.Policy, accel.Options, error) {
+	switch d {
+	case DesignMTile:
+		return sched.MTile(), accel.Options{}, nil
+	case DesignAdynaStatic:
+		return sched.AdynaStatic(), accel.Options{}, nil
+	case DesignFullKernel:
+		return sched.FullKernelIdeal(), accel.Options{}, nil
+	case DesignAdyna:
+		return sched.Adyna(), accel.Options{}, nil
+	case DesignRealtime:
+		return sched.FullKernelIdeal(), accel.Options{}, nil
+	}
+	return sched.Policy{}, accel.Options{}, fmt.Errorf("core: design %q does not run on the machine", d)
+}
+
+// Run executes one design on one workload and returns its result. All
+// designs see the identical trace for the given seed, so results are
+// directly comparable.
+func Run(d Design, modelName string, rc RunConfig) (metrics.RunResult, error) {
+	return run(d, modelName, rc, nil)
+}
+
+// RunWithPeriod runs a machine design with an overridden re-scheduling
+// period (the Section V-C reconfiguration ablation).
+func RunWithPeriod(d Design, modelName string, rc RunConfig, period int) (metrics.RunResult, error) {
+	return run(d, modelName, rc, func(p *sched.Policy) { p.ResamplePeriod = period })
+}
+
+// RunWithBudget runs a machine design with an overridden per-operator kernel
+// budget (the Section VII kernel-sampling ablation).
+func RunWithBudget(d Design, modelName string, rc RunConfig, budget int) (metrics.RunResult, error) {
+	return run(d, modelName, rc, func(p *sched.Policy) { p.KernelBudget = budget })
+}
+
+// RunWithPolicy runs a machine design with an arbitrary policy adjustment
+// (used by the ablation benchmarks for tile sharing, branch grouping and
+// runtime fitting).
+func RunWithPolicy(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {
+	return run(d, modelName, rc, mutate)
+}
+
+func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {
+	if err := rc.validate(); err != nil {
+		return metrics.RunResult{}, err
+	}
+	w, err := models.ByName(modelName, rc.Batch)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	src := workload.NewSource(rc.Seed)
+	warm := w.GenTrace(src, rc.Warmup, rc.Batch)
+	meas := w.GenTrace(src, rc.Batches, rc.Batch)
+
+	switch d {
+	case DesignGPU:
+		r, err := baselines.GPU(rc.HW, w, meas)
+		return r, err
+	case DesignMTenant:
+		r, err := baselines.MTenant(rc.HW, w, meas)
+		return r, err
+	}
+
+	pol, opts, err := policyFor(d)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	if mutate != nil {
+		mutate(&pol)
+	}
+	if d == DesignRealtime {
+		opts.OnlineSchedLatencyCycles = rc.OnlineSchedCycles
+	}
+	m, err := accel.New(rc.HW, w.Graph, opts)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	// Initial profiling: the hardware profiler observes the warmup batches.
+	for _, b := range warm {
+		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+		if err != nil {
+			return metrics.RunResult{}, err
+		}
+		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
+			return metrics.RunResult{}, err
+		}
+	}
+	plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	if err := m.LoadPlan(plan); err != nil {
+		return metrics.RunResult{}, err
+	}
+
+	// All machine designs execute in fixed windows (multi-segment models
+	// stream a window through each segment in turn), so weight amortization
+	// and pipeline fill costs are identical across designs; only policies
+	// with a resample period actually re-schedule between windows.
+	period := pol.ResamplePeriod
+	if period <= 0 {
+		period = ExecWindow
+	}
+	for start := 0; start < len(meas); start += period {
+		end := start + period
+		if end > len(meas) {
+			end = len(meas)
+		}
+		if start > 0 && pol.ResamplePeriod > 0 {
+			// Periodic report: re-schedule and re-sample from the live
+			// profile, reconfigure (drain + kernel reload), then age the
+			// profiling window.
+			plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
+			if err != nil {
+				return metrics.RunResult{}, err
+			}
+			if err := m.LoadPlan(plan); err != nil {
+				return metrics.RunResult{}, err
+			}
+			m.Profiler().Reset()
+		}
+		if err := m.Run(meas[start:end]); err != nil {
+			return metrics.RunResult{}, err
+		}
+	}
+
+	st := m.Stats()
+	return metrics.RunResult{
+		Design:         string(d),
+		Model:          w.Name,
+		Batches:        st.Batches,
+		Cycles:         st.Cycles,
+		MACs:           st.MACs,
+		UsefulMACs:     st.UsefulMACs,
+		SRAMBytes:      st.SRAMBytes,
+		HBMBytes:       st.HBMBytes,
+		NoCByteHops:    st.NoCByteHops,
+		PEUtil:         m.PEUtilization(),
+		HBMUtil:        m.HBMUtilization(),
+		ReconfigCycles: st.ReconfigCycles,
+	}, nil
+}
+
+// RunAll executes several designs on one workload under the identical trace.
+func RunAll(designs []Design, modelName string, rc RunConfig) (map[Design]metrics.RunResult, error) {
+	out := map[Design]metrics.RunResult{}
+	for _, d := range designs {
+		r, err := Run(d, modelName, rc)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %s: %w", d, modelName, err)
+		}
+		out[d] = r
+	}
+	return out, nil
+}
+
+// BatchLatencies runs a machine design and returns its per-batch completion
+// latencies in cycles (window-relative). Only the pipelined machine designs
+// have latencies to measure.
+func BatchLatencies(d Design, modelName string, rc RunConfig) ([]float64, error) {
+	if err := rc.validate(); err != nil {
+		return nil, err
+	}
+	pol, opts, err := policyFor(d)
+	if err != nil {
+		return nil, err
+	}
+	w, err := models.ByName(modelName, rc.Batch)
+	if err != nil {
+		return nil, err
+	}
+	m, err := accel.New(rc.HW, w.Graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	src := workload.NewSource(rc.Seed)
+	for _, b := range w.GenTrace(src, rc.Warmup, rc.Batch) {
+		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadPlan(plan); err != nil {
+		return nil, err
+	}
+	n := rc.Batches
+	if n > ExecWindow {
+		n = ExecWindow
+	}
+	if err := m.Run(w.GenTrace(src, n, rc.Batch)); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, n)
+	for _, l := range m.Latencies() {
+		out = append(out, float64(l.Cycles()))
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/sched"
+)
+
+func quickRC() RunConfig {
+	rc := DefaultRunConfig()
+	rc.Batch = 32
+	rc.Batches = 16
+	rc.Warmup = 8
+	return rc
+}
+
+func TestRunAllDesignsOneModel(t *testing.T) {
+	rc := quickRC()
+	res, err := RunAll(Figure9Designs(), "skipnet", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("want 6 designs, got %d", len(res))
+	}
+	for d, r := range res {
+		if r.Cycles <= 0 || r.Batches != rc.Batches {
+			t.Fatalf("%s: bad result %+v", d, r)
+		}
+	}
+	// The evaluation's core ordering at small scale: GPU slowest, Adyna
+	// faster than M-tile, full-kernel at least as fast as Adyna(static).
+	if res[DesignGPU].CyclesPerBatch() <= res[DesignMTile].CyclesPerBatch() {
+		t.Fatal("GPU must be the slowest design")
+	}
+	if res[DesignAdyna].CyclesPerBatch() >= res[DesignMTile].CyclesPerBatch() {
+		t.Fatal("Adyna must beat M-tile")
+	}
+	if res[DesignFullKernel].CyclesPerBatch() > res[DesignAdynaStatic].CyclesPerBatch()*101/100 {
+		t.Fatal("full-kernel must not lose to Adyna(static)")
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	rc := quickRC()
+	a, err := Run(DesignAdyna, "pabee", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DesignAdyna, "pabee", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.MACs != b.MACs {
+		t.Fatalf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+	rc2 := rc
+	rc2.Seed = 99
+	c, err := Run(DesignAdyna, "pabee", rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles == a.Cycles {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rc := quickRC()
+	rc.Batch = 0
+	if _, err := Run(DesignAdyna, "skipnet", rc); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	rc = quickRC()
+	if _, err := Run(DesignAdyna, "nope", rc); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Run(Design("weird"), "skipnet", rc); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	rc.Warmup = -1
+	if _, err := Run(DesignAdyna, "skipnet", rc); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestRunWithPeriodChargesReconfigs(t *testing.T) {
+	rc := quickRC()
+	r, err := RunWithPeriod(DesignAdyna, "skipnet", rc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReconfigCycles <= 0 {
+		t.Fatal("frequent rescheduling must charge reconfiguration cycles")
+	}
+}
+
+func TestRunWithBudgetDegradesGracefully(t *testing.T) {
+	rc := quickRC()
+	one, err := RunWithBudget(DesignAdyna, "dpsnet", rc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunWithBudget(DesignAdyna, "dpsnet", rc, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CyclesPerBatch() > one.CyclesPerBatch() {
+		t.Fatalf("more kernels must not slow execution: %0.f vs %0.f",
+			full.CyclesPerBatch(), one.CyclesPerBatch())
+	}
+}
+
+func TestRunWithPolicyOverride(t *testing.T) {
+	rc := quickRC()
+	r, err := RunWithPolicy(DesignAdyna, "skipnet", rc, func(p *sched.Policy) {
+		p.TileSharing = false
+		p.BranchGrouping = false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("override run failed")
+	}
+}
+
+func TestRealtimeDesignSlowsWithLatency(t *testing.T) {
+	rc := quickRC()
+	fast, err := Run(DesignRealtime, "skipnet", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.OnlineSchedCycles = 200_000
+	slow, err := Run(DesignRealtime, "skipnet", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CyclesPerBatch() <= fast.CyclesPerBatch() {
+		t.Fatal("online scheduling latency must cost time")
+	}
+}
+
+func TestAllModelsRunAdyna(t *testing.T) {
+	rc := quickRC()
+	rc.Batches = 8
+	for _, name := range models.Names() {
+		if _, err := Run(DesignAdyna, name, rc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestExtensionModelsRun(t *testing.T) {
+	rc := quickRC()
+	rc.Batches = 6
+	for _, name := range []string{"adavit", "ranet"} {
+		mt, err := Run(DesignMTile, name, rc)
+		if err != nil {
+			t.Fatalf("%s mtile: %v", name, err)
+		}
+		ad, err := Run(DesignAdyna, name, rc)
+		if err != nil {
+			t.Fatalf("%s adyna: %v", name, err)
+		}
+		if ad.SpeedupOver(mt) <= 1 {
+			t.Fatalf("%s: Adyna should win, got %.2fx", name, ad.SpeedupOver(mt))
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package energy converts simulator activity counters into an energy
+// breakdown (Figure 11). Per-event energies are typical 28 nm values, chosen
+// so the relative weight of HBM, on-chip SRAM, PE computation and NoC traffic
+// matches the literature the paper builds on (Eyeriss-class accelerators and
+// HBM2 interface numbers); the figure's conclusions depend on those ratios,
+// not on absolute joules.
+package energy
+
+// Per-event energy constants in picojoules.
+const (
+	// PJPerMAC is one FP16 multiply-accumulate including register-file
+	// operand movement at 28 nm.
+	PJPerMAC = 1.2
+	// PJPerSRAMByte is one byte moved to/from a 512 kB scratchpad bank.
+	PJPerSRAMByte = 0.65
+	// PJPerHBMByte is one byte crossing the HBM2 interface (~7 pJ/bit is
+	// often quoted for the full path; 4 pJ/bit interface-side).
+	PJPerHBMByte = 32.0
+	// PJPerNoCByteHop is one byte traversing one router hop and link.
+	PJPerNoCByteHop = 0.35
+)
+
+// Counters are the activity totals a run produces.
+type Counters struct {
+	MACs        int64
+	SRAMBytes   int64
+	HBMBytes    int64
+	NoCByteHops int64
+}
+
+// Breakdown is the energy split of Figure 11, in millijoules.
+type Breakdown struct {
+	HBMmJ  float64
+	SRAMmJ float64
+	PEmJ   float64 // PE computation plus NoC movement (the figure's on-chip rest)
+}
+
+// Of converts activity counters to the Figure 11 breakdown.
+func Of(c Counters) Breakdown {
+	const pjToMJ = 1e-9
+	return Breakdown{
+		HBMmJ:  float64(c.HBMBytes) * PJPerHBMByte * pjToMJ,
+		SRAMmJ: float64(c.SRAMBytes) * PJPerSRAMByte * pjToMJ,
+		PEmJ:   (float64(c.MACs)*PJPerMAC + float64(c.NoCByteHops)*PJPerNoCByteHop) * pjToMJ,
+	}
+}
+
+// Total returns the total energy in millijoules.
+func (b Breakdown) Total() float64 { return b.HBMmJ + b.SRAMmJ + b.PEmJ }
+
+// Share returns each component as a fraction of the total.
+func (b Breakdown) Share() (hbm, sram, pe float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return b.HBMmJ / t, b.SRAMmJ / t, b.PEmJ / t
+}

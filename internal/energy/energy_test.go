@@ -1,0 +1,48 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Of(Counters{MACs: 1e9, SRAMBytes: 1e9, HBMBytes: 1e8, NoCByteHops: 1e8})
+	if b.Total() <= 0 {
+		t.Fatal("total must be positive")
+	}
+	h, s, p := b.Share()
+	if math.Abs(h+s+p-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", h+s+p)
+	}
+}
+
+func TestHBMDominatesByteForByte(t *testing.T) {
+	// One HBM byte must cost far more than one SRAM byte — the ordering all
+	// of Figure 11's conclusions rest on.
+	if PJPerHBMByte < 10*PJPerSRAMByte {
+		t.Fatal("HBM energy per byte must dwarf SRAM")
+	}
+	if PJPerSRAMByte <= PJPerNoCByteHop {
+		t.Fatal("SRAM access should cost more than one NoC hop")
+	}
+}
+
+func TestZeroCounters(t *testing.T) {
+	b := Of(Counters{})
+	if b.Total() != 0 {
+		t.Fatal("no activity, no energy")
+	}
+	h, s, p := b.Share()
+	if h != 0 || s != 0 || p != 0 {
+		t.Fatal("zero shares expected")
+	}
+}
+
+func TestMemoryBoundWorkloadIsHBMDominated(t *testing.T) {
+	// A PABEE-like profile: weights stream constantly.
+	b := Of(Counters{MACs: 1e10, SRAMBytes: 2e10, HBMBytes: 5e10, NoCByteHops: 1e9})
+	h, _, _ := b.Share()
+	if h < 0.5 {
+		t.Fatalf("HBM share %v, expected dominant for streaming workloads", h)
+	}
+}

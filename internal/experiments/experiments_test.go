@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+func tiny() Options {
+	rc := core.DefaultRunConfig()
+	rc.Batch = 16
+	rc.Batches = 10
+	rc.Warmup = 6
+	return Options{RC: rc}
+}
+
+func TestTable3ContainsTableIIIValues(t *testing.T) {
+	s := Table3(hw.Default()).String()
+	for _, want := range []string{"12 x 12", "32 x 32", "512 kB", "72 MB", "1842 GB/s", "192 GB/s", "295 TFLOPs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	s := Table4(hw.Default()).String()
+	for _, want := range []string{"PE array", "Scratchpad", "Dispatcher", "Router", "Total", "DynNN-support"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table4 missing %q", want)
+		}
+	}
+}
+
+func TestFigure6ShapeMatchesPaper(t *testing.T) {
+	fig := Figure6(1, 80)
+	if len(fig.Series) != 6 {
+		t.Fatalf("want 6 series, got %d", len(fig.Series))
+	}
+	static, freq, share := Figure6Imbalance(fig)
+	// The paper's Figure 6 progression: frequency weighting balances better
+	// than static worst-case allocation, and tile sharing improves further.
+	if !(share < freq && freq < static) {
+		t.Fatalf("imbalance ordering wrong: static=%.2f freq=%.2f share=%.2f", static, freq, share)
+	}
+}
+
+func TestRunMatrixAndHeadlines(t *testing.T) {
+	m, err := RunMatrix(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 5 {
+		t.Fatalf("want 5 models, got %d", len(m.Results))
+	}
+	h := Figure9Headlines(m)
+	// The evaluation's qualitative shape must hold even at tiny scale.
+	if h.AdynaVsMTile <= 1.1 {
+		t.Fatalf("Adyna vs M-tile = %.2f, want clearly > 1", h.AdynaVsMTile)
+	}
+	if h.AdynaVsGPU <= 2 {
+		t.Fatalf("Adyna vs GPU = %.2f, want >> 1", h.AdynaVsGPU)
+	}
+	if h.AdynaVsMTenant <= 1.0 {
+		t.Fatalf("Adyna vs M-tenant = %.2f, want > 1", h.AdynaVsMTenant)
+	}
+	if h.AdynaOfFullKernel > 1.01 || h.AdynaOfFullKernel < 0.5 {
+		t.Fatalf("Adyna/full-kernel = %.2f outside (0.5, 1.01]", h.AdynaOfFullKernel)
+	}
+	// Tables render.
+	for _, s := range []string{Figure9(m).String(), Figure10(m).String(), Figure11(m).String()} {
+		if len(s) < 100 {
+			t.Fatal("table suspiciously short")
+		}
+	}
+}
+
+func TestFigure12CrossoverExists(t *testing.T) {
+	opt := tiny()
+	fig, crossover, err := Figure12(opt, []float64{0, 100, 400, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.Y) != 4 {
+		t.Fatalf("want 4 sweep points, got %d", len(s.Y))
+	}
+	// Zero-latency real-time scheduling is the full-kernel ideal: at least
+	// as fast as Adyna. Large latencies must lose.
+	if s.Y[0] < 0.99 {
+		t.Fatalf("zero-latency real-time should match/beat Adyna, ratio %.2f", s.Y[0])
+	}
+	if s.Y[len(s.Y)-1] >= 1 {
+		t.Fatalf("1.2 ms scheduling latency should lose, ratio %.2f", s.Y[len(s.Y)-1])
+	}
+	// Ratios decrease monotonically with latency.
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]+1e-9 {
+			t.Fatalf("ratio must fall with latency: %v", s.Y)
+		}
+	}
+	if !math.IsNaN(crossover) && (crossover < 0 || crossover > 1200) {
+		t.Fatalf("crossover %.1f outside swept range", crossover)
+	}
+}
+
+func TestFigure13GrowsWithBatch(t *testing.T) {
+	opt := tiny()
+	fig, err := Figure13(opt, []int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := fig.Series[len(fig.Series)-1]
+	if gm.Name != "geomean" || len(gm.Y) != 2 {
+		t.Fatalf("geomean series malformed: %+v", gm)
+	}
+	// Paper: the advantage grows with batch size (1.29x at 1 to 1.70x at
+	// 128). Allow equality at tiny scale but never a big inversion.
+	if gm.Y[1] < gm.Y[0]*0.92 {
+		t.Fatalf("speedup shrank with batch size: %v", gm.Y)
+	}
+	if gm.Y[0] <= 1 {
+		t.Fatalf("even small batches must beat M-tile: %v", gm.Y)
+	}
+}
+
+func TestReconfigSweepOverheadSmall(t *testing.T) {
+	opt := tiny()
+	tb, err := ReconfigSweep(opt, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tb.Rows))
+	}
+	// Even at an aggressive 5-batch period the overhead stays bounded
+	// (paper: <2.4% at 40 batches).
+	if !strings.Contains(tb.String(), "%") {
+		t.Fatal("sweep must report overhead percentages")
+	}
+}
+
+func TestSamplingDemoImproves(t *testing.T) {
+	tb := SamplingDemo(3)
+	if len(tb.Rows) != 2 {
+		t.Fatal("demo should have before/after rows")
+	}
+}
+
+func TestKernelBudgetSweepMonotoneOverall(t *testing.T) {
+	opt := tiny()
+	fig, err := KernelBudgetSweep(opt, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if s.Y[1] < s.Y[0]*0.98 {
+		t.Fatalf("16 kernels should not lose to 1 kernel: %v", s.Y)
+	}
+}
+
+func TestHybridDemo(t *testing.T) {
+	tb, err := HybridDemo(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tb.Rows))
+	}
+	// AdaViT's hybrid dynamism must benefit from Adyna too.
+	if tb.Rows[1][2] <= "1.0" {
+		t.Fatalf("hybrid speedup row looks wrong: %v", tb.Rows[1])
+	}
+}
+
+func TestDSESweep(t *testing.T) {
+	tb, err := DSESweep(tiny(), "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("want 8 variants, got %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "baseline") {
+		t.Fatal("baseline row missing")
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	tb, err := LatencyTable(tiny(), "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"fmt"
+)
+
+// This file implements the *instruction issuer* of Figure 7/8: the finite
+// state machine in each tile's kernel dispatcher that interprets a kernel's
+// 128-byte template metadata and generates the instruction stream — load a
+// block of inputs, run the PE array over it, store the outputs — together
+// with the address generator that turns loop indices into scratchpad
+// addresses, and the runtime kernel-fitting check that skips iterations
+// beyond the actual dyn value.
+
+// InstrKind enumerates the instructions the issuer generates.
+type InstrKind int
+
+const (
+	// InstrLoad moves one input block from the scratchpad into the array.
+	InstrLoad InstrKind = iota
+	// InstrMACBlock runs the PE array over one blocked iteration.
+	InstrMACBlock
+	// InstrStore writes one output block back to the scratchpad.
+	InstrStore
+	// InstrSend hands one output block to the network interface.
+	InstrSend
+)
+
+func (k InstrKind) String() string {
+	switch k {
+	case InstrLoad:
+		return "load"
+	case InstrMACBlock:
+		return "mac"
+	case InstrStore:
+		return "store"
+	case InstrSend:
+		return "send"
+	}
+	return fmt.Sprintf("instr(%d)", int(k))
+}
+
+// Instr is one issued instruction: its kind, the scratchpad address the
+// address generator produced, and the MAC count of the block (for
+// InstrMACBlock).
+type Instr struct {
+	Kind InstrKind
+	Addr uint32
+	MACs int64
+}
+
+// IssueSummary aggregates one kernel invocation's instruction stream.
+type IssueSummary struct {
+	Loads, MACBlocks, Stores, Sends int64
+	// MACs is the total multiply-accumulate work issued.
+	MACs int64
+	// SkippedBlocks counts dyn blocks eliminated by runtime kernel-fitting
+	// (iterations whose dyn indices exceed the actual value).
+	SkippedBlocks int64
+}
+
+// Instructions returns the total instruction count.
+func (s IssueSummary) Instructions() int64 {
+	return s.Loads + s.MACBlocks + s.Stores + s.Sends
+}
+
+// Issuer interprets one kernel's metadata for one tile at a concrete runtime
+// dyn value.
+type Issuer struct {
+	k *Kernel
+	// actual is the runtime dyn value; the issuer fits the N loop to it.
+	actual int
+	// fitting enables the runtime kernel-fitting comparison of Section VI-B.
+	fitting bool
+}
+
+// NewIssuer builds an issuer for kernel k at the actual dyn value. The
+// dispatcher guarantees actual <= compiled; the issuer enforces it.
+func NewIssuer(k *Kernel, actualUnits int, fitting bool) (*Issuer, error) {
+	if actualUnits < 0 || actualUnits > k.CompiledUnits {
+		return nil, fmt.Errorf("kernels: issuer dyn value %d outside [0, %d]", actualUnits, k.CompiledUnits)
+	}
+	return &Issuer{k: k, actual: actualUnits, fitting: fitting}, nil
+}
+
+// loopShape derives this tile's iteration structure from the metadata:
+// dyn blocks at the SRAM level, spatial iterations, and the sequential
+// remainder of C and M that does not fit the array.
+type loopShape struct {
+	nBlocks   int // dyn blocks per tile group: ceil(uTile / NBlk)
+	nBlkUnits int // units per dyn block
+	uTile     int // units this tile group is sized for
+	spatial   int // H*W iterations per unit block
+	seq       int // sequential C/M remainder iterations
+	macsPerIt int64
+}
+
+func (is *Issuer) shape() loopShape {
+	n := is.k.Nest
+	splitN := int(n.Levels[LevelChip][DimN].Blk)
+	nBlk := int(n.Levels[LevelSRAM][DimN].Blk)
+	uTile := (is.k.CompiledUnits + splitN - 1) / splitN
+	spatial := int(n.Levels[LevelSRAM][DimH].Blk) * int(n.Levels[LevelSRAM][DimW].Blk)
+	seq := int(n.Levels[LevelSeq][DimC].Blk) * int(n.Levels[LevelSeq][DimM].Blk)
+	if spatial < 1 {
+		spatial = 1
+	}
+	if seq < 1 {
+		seq = 1
+	}
+	arrayM := int(n.Levels[LevelArray][DimM].Blk)
+	arrayC := int(n.Levels[LevelArray][DimC].Blk)
+	reg := int(n.Levels[LevelReg][DimR].Blk) * int(n.Levels[LevelReg][DimS].Blk)
+	macsPerIt := int64(arrayM) * int64(arrayC) * int64(reg) * int64(nBlk)
+	return loopShape{
+		nBlocks:   (uTile + nBlk - 1) / nBlk,
+		nBlkUnits: nBlk,
+		uTile:     uTile,
+		spatial:   spatial,
+		seq:       seq,
+		macsPerIt: macsPerIt,
+	}
+}
+
+// Run generates the instruction stream, calling visit for every instruction
+// when visit is non-nil, and returns the summary. The stream is one tile
+// group's invocation: the outer dyn-block loop, then spatial blocks, then
+// the sequential C/M remainder, with a load / MAC / store (or send) triple
+// per innermost iteration — the template pseudocode of Figure 8.
+func (is *Issuer) Run(visit func(Instr)) IssueSummary {
+	var sum IssueSummary
+	sh := is.shape()
+	splitN := int(is.k.Nest.Levels[LevelChip][DimN].Blk)
+	// Units this tile group must actually process.
+	actualTile := (is.actual + splitN - 1) / splitN
+	var addr uint32
+	emit := func(kind InstrKind, macs int64) {
+		switch kind {
+		case InstrLoad:
+			sum.Loads++
+		case InstrMACBlock:
+			sum.MACBlocks++
+			sum.MACs += macs
+		case InstrStore:
+			sum.Stores++
+		case InstrSend:
+			sum.Sends++
+		}
+		if visit != nil {
+			visit(Instr{Kind: kind, Addr: addr, MACs: macs})
+		}
+		addr += 64 // the address generator strides block by block
+	}
+	for nb := 0; nb < sh.nBlocks; nb++ {
+		// Runtime kernel-fitting: compare the current dyn index against the
+		// actual loop bound; skip the block if it is past the real value.
+		if is.fitting && nb*sh.nBlkUnits >= actualTile {
+			sum.SkippedBlocks += int64(sh.spatial) * int64(sh.seq)
+			continue
+		}
+		for sp := 0; sp < sh.spatial; sp++ {
+			for sq := 0; sq < sh.seq; sq++ {
+				emit(InstrLoad, 0)
+				emit(InstrMACBlock, sh.macsPerIt)
+				emit(InstrStore, 0)
+			}
+		}
+		// Each completed dyn block is forwarded to the successors.
+		emit(InstrSend, 0)
+	}
+	return sum
+}
+
+// Summary computes the invocation summary in closed form (no visitation) —
+// what the simulator's cost model corresponds to.
+func (is *Issuer) Summary() IssueSummary {
+	return is.Run(nil)
+}
+
+// KernelBytesTouched estimates the scratchpad bytes the stream's loads and
+// stores move, for cross-checking the cost model's SRAM accounting.
+func (s IssueSummary) KernelBytesTouched(blockBytes int64) int64 {
+	return (s.Loads + s.Stores) * blockBytes
+}

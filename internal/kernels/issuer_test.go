@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func issuerKernel(t testing.TB, units, tiles int) *Kernel {
+	t.Helper()
+	k, err := Generate(hw.Default(), convOp(t, 256), units, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestIssuerStreamStructure(t *testing.T) {
+	k := issuerKernel(t, 64, 4)
+	is, err := NewIssuer(k, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []InstrKind
+	sum := is.Run(func(in Instr) {
+		if len(kinds) < 8 {
+			kinds = append(kinds, in.Kind)
+		}
+	})
+	// The stream begins with the load/mac/store triple of the template.
+	if kinds[0] != InstrLoad || kinds[1] != InstrMACBlock || kinds[2] != InstrStore {
+		t.Fatalf("stream prefix = %v", kinds)
+	}
+	if sum.Loads != sum.MACBlocks || sum.Stores != sum.MACBlocks {
+		t.Fatalf("unbalanced triples: %+v", sum)
+	}
+	if sum.Sends == 0 {
+		t.Fatal("dyn blocks must be forwarded")
+	}
+	if sum.MACs <= 0 {
+		t.Fatal("no MACs issued")
+	}
+	if sum.Instructions() != sum.Loads+sum.MACBlocks+sum.Stores+sum.Sends {
+		t.Fatal("instruction total inconsistent")
+	}
+}
+
+func TestIssuerFittingSkipsGap(t *testing.T) {
+	k := issuerKernel(t, 128, 4)
+	fullIs, err := NewIssuer(k, 128, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallIs, err := NewIssuer(k, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFitIs, err := NewIssuer(k, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fullIs.Summary()
+	small := smallIs.Summary()
+	noFit := noFitIs.Summary()
+	if small.MACs >= full.MACs {
+		t.Fatalf("fitting at v=16 should cut work: %d vs %d", small.MACs, full.MACs)
+	}
+	if small.SkippedBlocks == 0 {
+		t.Fatal("fitting must skip blocks for a small actual value")
+	}
+	// Without fitting, the padded worst case is issued in full.
+	if noFit.MACs != full.MACs || noFit.SkippedBlocks != 0 {
+		t.Fatalf("no-fitting must issue the compiled size: %+v vs %+v", noFit, full)
+	}
+}
+
+func TestIssuerRejectsOversizeActual(t *testing.T) {
+	k := issuerKernel(t, 32, 2)
+	if _, err := NewIssuer(k, 33, true); err == nil {
+		t.Fatal("actual beyond compiled accepted")
+	}
+	if _, err := NewIssuer(k, -1, true); err == nil {
+		t.Fatal("negative actual accepted")
+	}
+}
+
+func TestIssuerAddressesAdvance(t *testing.T) {
+	k := issuerKernel(t, 16, 2)
+	is, err := NewIssuer(k, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint32
+	first := true
+	n := 0
+	is.Run(func(in Instr) {
+		if !first && in.Addr <= prev {
+			t.Fatalf("address generator went backwards: %d after %d", in.Addr, prev)
+		}
+		prev, first = in.Addr, false
+		n++
+	})
+	if n == 0 {
+		t.Fatal("no instructions visited")
+	}
+}
+
+func TestIssuerMatchesDecodedKernel(t *testing.T) {
+	// Encoding then decoding the kernel must produce the identical
+	// instruction stream — the on-chip metadata is sufficient.
+	k := issuerKernel(t, 48, 3)
+	dec, err := Decode(k.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewIssuer(k, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIssuer(dec, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("decoded kernel issues differently: %+v vs %+v", a.Summary(), b.Summary())
+	}
+}
+
+// Property: issued MACs are monotone in the actual value under fitting, and
+// fitting never issues more than no-fitting.
+func TestQuickIssuerMonotone(t *testing.T) {
+	k := issuerKernel(t, 200, 5)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%201, int(b)%201
+		if x > y {
+			x, y = y, x
+		}
+		ix, err1 := NewIssuer(k, x, true)
+		iy, err2 := NewIssuer(k, y, true)
+		inf, err3 := NewIssuer(k, x, false)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		sx, sy, snf := ix.Summary(), iy.Summary(), inf.Summary()
+		return sx.MACs <= sy.MACs && sx.MACs <= snf.MACs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrKindStrings(t *testing.T) {
+	if InstrLoad.String() != "load" || InstrMACBlock.String() != "mac" ||
+		InstrStore.String() != "store" || InstrSend.String() != "send" {
+		t.Fatal("instruction names wrong")
+	}
+}
+
+func TestKernelBytesTouched(t *testing.T) {
+	s := IssueSummary{Loads: 10, Stores: 10}
+	if s.KernelBytesTouched(128) != 2560 {
+		t.Fatalf("bytes = %d", s.KernelBytesTouched(128))
+	}
+}

@@ -1,0 +1,125 @@
+// Package mem models the accelerator's off-chip memory: HBM2 stacks with
+// per-stack bandwidth (Table III: 6 stacks, 1842 GB/s aggregate). Requests
+// are interleaved across stacks; contention appears as queueing on the
+// per-stack servers.
+package mem
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// HBM is the off-chip memory model.
+type HBM struct {
+	env    *sim.Env
+	stacks []*sim.Server
+	next   int
+	// Accounting.
+	readBytes, writeBytes int64
+}
+
+// New builds the HBM model for cfg.
+func New(env *sim.Env, cfg hw.Config) *HBM {
+	h := &HBM{env: env}
+	rate := cfg.HBMStackBytesPerCycle()
+	for i := 0; i < cfg.HBMStacks; i++ {
+		h.stacks = append(h.stacks, sim.NewServer(env, rate))
+	}
+	return h
+}
+
+// split divides a request across all stacks (address interleaving) and
+// returns the per-stack share.
+func (h *HBM) split(n int64) int64 {
+	per := n / int64(len(h.stacks))
+	if per*int64(len(h.stacks)) < n {
+		per++
+	}
+	return per
+}
+
+// Read blocks the process until n bytes have been fetched.
+func (h *HBM) Read(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.readBytes += n
+	h.transfer(p, n)
+}
+
+// Write blocks the process until n bytes have been drained.
+func (h *HBM) Write(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.writeBytes += n
+	h.transfer(p, n)
+}
+
+func (h *HBM) transfer(p *sim.Proc, n int64) {
+	per := h.split(n)
+	// All stacks serve their share in parallel; the request completes when
+	// the slowest share drains. Reserve on every stack, wait for the max.
+	var done sim.Time
+	for _, s := range h.stacks {
+		if t := s.Reserve(per); t > done {
+			done = t
+		}
+	}
+	if done > p.Now() {
+		p.Wait(done - p.Now())
+	}
+}
+
+// Reserve books a read without blocking and returns its completion time
+// (used for prefetching weights for the next segment and for streaming
+// inputs overlapped with compute).
+func (h *HBM) Reserve(n int64) sim.Time {
+	if n <= 0 {
+		return h.env.Now()
+	}
+	h.readBytes += n
+	return h.reserve(n)
+}
+
+// ReserveWrite books a write-back without blocking (the DMA drains output
+// chunks while the PEs continue).
+func (h *HBM) ReserveWrite(n int64) sim.Time {
+	if n <= 0 {
+		return h.env.Now()
+	}
+	h.writeBytes += n
+	return h.reserve(n)
+}
+
+func (h *HBM) reserve(n int64) sim.Time {
+	per := h.split(n)
+	var done sim.Time
+	for _, s := range h.stacks {
+		if t := s.Reserve(per); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// TotalBytes returns read+write traffic so far.
+func (h *HBM) TotalBytes() int64 { return h.readBytes + h.writeBytes }
+
+// ReadBytes returns the read traffic so far.
+func (h *HBM) ReadBytes() int64 { return h.readBytes }
+
+// WriteBytes returns the write traffic so far.
+func (h *HBM) WriteBytes() int64 { return h.writeBytes }
+
+// BusyCycles returns the maximum busy time across stacks (the effective
+// occupancy for bandwidth-utilization metrics).
+func (h *HBM) BusyCycles() sim.Time {
+	var m sim.Time
+	for _, s := range h.stacks {
+		if b := s.BusyCycles(); b > m {
+			m = b
+		}
+	}
+	return m
+}

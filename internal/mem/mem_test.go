@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestReadTimingMatchesBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := hw.Default()
+	h := New(env, cfg)
+	var done sim.Time
+	env.Go("r", func(p *sim.Proc) {
+		h.Read(p, 1842*1000) // one microsecond of full-bandwidth traffic
+		done = p.Now()
+	})
+	env.Run()
+	// 1842*1000 bytes at 1842 B/cycle aggregate = ~1000 cycles.
+	if done < 950 || done > 1100 {
+		t.Fatalf("read took %d cycles, want ~1000", done)
+	}
+	if h.ReadBytes() != 1842*1000 {
+		t.Fatalf("read bytes = %d", h.ReadBytes())
+	}
+}
+
+func TestContentionQueues(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, hw.Default())
+	var t1, t2 sim.Time
+	env.Go("a", func(p *sim.Proc) { h.Read(p, 1842*100); t1 = p.Now() })
+	env.Go("b", func(p *sim.Proc) { h.Read(p, 1842*100); t2 = p.Now() })
+	env.Run()
+	if t2 < 2*t1-10 {
+		t.Fatalf("no contention: first %d, second %d", t1, t2)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, hw.Default())
+	env.Go("w", func(p *sim.Proc) {
+		h.Write(p, 1000)
+		h.Read(p, 500)
+	})
+	env.Run()
+	if h.WriteBytes() != 1000 || h.ReadBytes() != 500 || h.TotalBytes() != 1500 {
+		t.Fatalf("accounting wrong: r=%d w=%d", h.ReadBytes(), h.WriteBytes())
+	}
+	if h.BusyCycles() == 0 {
+		t.Fatal("busy cycles must be recorded")
+	}
+}
+
+func TestZeroTransferFree(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, hw.Default())
+	env.Go("z", func(p *sim.Proc) {
+		h.Read(p, 0)
+		h.Write(p, -5)
+		if p.Now() != 0 {
+			t.Error("zero/negative transfers must be free")
+		}
+	})
+	env.Run()
+	if h.TotalBytes() != 0 {
+		t.Fatal("zero transfers must not count")
+	}
+}
+
+func TestReserveOverlapsPrefetch(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, hw.Default())
+	done := h.Reserve(1842 * 50)
+	if done != 50 && done != 51 {
+		t.Fatalf("reserve completion = %d, want ~50", done)
+	}
+	// A second reservation queues behind the first.
+	done2 := h.Reserve(1842 * 50)
+	if done2 < 2*done-5 {
+		t.Fatalf("second reserve at %d, want ~%d", done2, 2*done)
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesPerBatch(t *testing.T) {
+	r := RunResult{Cycles: 1000, Batches: 10}
+	if r.CyclesPerBatch() != 100 {
+		t.Fatalf("cpb = %v", r.CyclesPerBatch())
+	}
+	if (RunResult{}).CyclesPerBatch() != 0 {
+		t.Fatal("zero batches must not divide by zero")
+	}
+}
+
+func TestSpeedupOver(t *testing.T) {
+	fast := RunResult{Cycles: 500, Batches: 10}
+	slow := RunResult{Cycles: 1000, Batches: 10}
+	if got := fast.SpeedupOver(slow); got != 2 {
+		t.Fatalf("speedup = %v, want 2", got)
+	}
+	if got := (RunResult{Batches: 10}).SpeedupOver(slow); got != 0 {
+		t.Fatalf("zero-cycle result speedup = %v, want 0", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{4, 4, 4}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if got := Geomean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("geomean = %v, want 10", got)
+	}
+	if Geomean(nil) != 0 || Geomean([]float64{1, 0}) != 0 || Geomean([]float64{-1}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+// Property: geomean lies between min and max.
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tb.AddRow("xxxxx", "1")
+	tb.AddRow("y", "22")
+	s := tb.String()
+	if !strings.Contains(s, "== T ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), s)
+	}
+	// Columns align: every body line at least as wide as the widest cell.
+	if !strings.HasPrefix(lines[3], "xxxxx") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		Title:  "F",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2}, Y: []float64{5}},
+		},
+	}
+	s := f.String()
+	if !strings.Contains(s, "== F ==") || !strings.Contains(s, "10.000") {
+		t.Fatalf("figure render wrong:\n%s", s)
+	}
+	// Series b has no point at x=1: rendered as "-".
+	if !strings.Contains(s, "-") {
+		t.Fatalf("missing placeholder for absent point:\n%s", s)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatalf("F = %q", F(3.14159, 2))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 0.25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty must be 0")
+	}
+	// Input untouched.
+	if xs[0] != 5 {
+		t.Fatal("Percentile must not mutate input")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	f := &Figure{
+		Title:  "C",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	s := f.Chart(20)
+	if !strings.Contains(s, "== C ==") || !strings.Contains(s, "####") {
+		t.Fatalf("chart render wrong:\n%s", s)
+	}
+	// The larger value gets the full width.
+	if !strings.Contains(s, strings.Repeat("#", 20)) {
+		t.Fatalf("max bar not full width:\n%s", s)
+	}
+	// Degenerate inputs do not panic.
+	empty := &Figure{Title: "E"}
+	_ = empty.Chart(0)
+}

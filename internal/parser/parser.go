@@ -1,0 +1,367 @@
+// Package parser implements Adyna's model parser (Figure 4): it reads a
+// textual DynNN description — ordinary operators plus the switch / merge /
+// sink dynamic structure of Section IV — and constructs the dynamic operator
+// graph, tracking dynamic-dimension propagation through the graph builder.
+//
+// The format is line-oriented; '#' starts a comment. The first directive
+// names the model; every other line declares one operator with key=value
+// attributes. Operators are referenced by name; a switch's branch outputs
+// are referenced as "name:k".
+//
+//	model skipblock units=1
+//	input  in bytes=4096 max=128
+//	conv   c1  from=in inc=64 outc=64 h=56 w=56 r=3 s=3 stride=1 pad=1
+//	gate   g1  from=c1 feat=64 choices=2
+//	switch sw  data=c1 mask=g1 branches=2
+//	conv   b1  from=sw:0 inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+//	conv   b2a from=sw:1 inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+//	conv   b2b from=b2a  inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+//	merge  m1  switch=sw from=b1,b2b
+//	matmul fc  from=m1 in=64 out=1000
+//	output yhat from=fc
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Parse builds a dynamic operator graph from a model description.
+func Parse(src string) (*graph.Graph, error) {
+	p := &parser{ports: map[string]graph.Port{}, switches: map[string][]graph.Port{}}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("parser: line %d: %w", i+1, err)
+		}
+	}
+	if p.b == nil {
+		return nil, fmt.Errorf("parser: no model directive")
+	}
+	return p.b.Build()
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(src string) *graph.Graph {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	b        *graph.Builder
+	ports    map[string]graph.Port
+	switches map[string][]graph.Port
+}
+
+// fields splits a declaration into the directive, the operator name, and
+// the attribute map.
+func (p *parser) line(line string) error {
+	parts := strings.Fields(line)
+	directive := parts[0]
+	if directive == "model" {
+		if len(parts) < 2 {
+			return fmt.Errorf("model needs a name")
+		}
+		attrs, err := parseAttrs(parts[2:])
+		if err != nil {
+			return err
+		}
+		units := attrs.intOr("units", 1)
+		p.b = graph.NewBuilder(parts[1], units)
+		return nil
+	}
+	if p.b == nil {
+		return fmt.Errorf("operator before model directive")
+	}
+	if len(parts) < 2 {
+		return fmt.Errorf("%s needs a name", directive)
+	}
+	name := parts[1]
+	attrs, err := parseAttrs(parts[2:])
+	if err != nil {
+		return err
+	}
+	if _, dup := p.ports[name]; dup {
+		return fmt.Errorf("duplicate operator name %q", name)
+	}
+	if _, dup := p.switches[name]; dup {
+		return fmt.Errorf("duplicate operator name %q", name)
+	}
+	return p.declare(directive, name, attrs)
+}
+
+func (p *parser) declare(directive, name string, a attrs) error {
+	switch directive {
+	case "input":
+		bytes, err := a.need("bytes")
+		if err != nil {
+			return err
+		}
+		max, err := a.need("max")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Input(name, int64(bytes), max)
+		return nil
+	case "conv":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		spec := graph.ConvSpec{
+			InC: a.intOr("inc", 0), OutC: a.intOr("outc", 0),
+			H: a.intOr("h", 0), W: a.intOr("w", 0),
+			R: a.intOr("r", 1), S: a.intOr("s", 1),
+			Stride: a.intOr("stride", 1), Pad: a.intOr("pad", 0),
+		}
+		if spec.InC <= 0 || spec.OutC <= 0 || spec.H <= 0 || spec.W <= 0 {
+			return fmt.Errorf("conv %q needs inc/outc/h/w", name)
+		}
+		p.ports[name] = p.b.Conv2D(name, in[0], spec)
+		return nil
+	case "matmul":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		fi, err := a.need("in")
+		if err != nil {
+			return err
+		}
+		fo, err := a.need("out")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.MatMul(name, in[0], fi, fo)
+		return nil
+	case "seqmatmul":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		seq, err := a.need("seq")
+		if err != nil {
+			return err
+		}
+		fi, err := a.need("in")
+		if err != nil {
+			return err
+		}
+		fo, err := a.need("out")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.SeqMatMul(name, in[0], seq, fi, fo)
+		return nil
+	case "attention":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		seq, err := a.need("seq")
+		if err != nil {
+			return err
+		}
+		dim, err := a.need("dim")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Attention(name, in[0], seq, dim)
+		return nil
+	case "eltwise":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		bytes, err := a.need("bytes")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Elementwise(name, int64(bytes), in...)
+		return nil
+	case "pool":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		ib, err := a.need("inbytes")
+		if err != nil {
+			return err
+		}
+		ob, err := a.need("outbytes")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Pool(name, in[0], int64(ib), int64(ob))
+		return nil
+	case "layernorm", "softmax":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		bytes, err := a.need("bytes")
+		if err != nil {
+			return err
+		}
+		if directive == "layernorm" {
+			p.ports[name] = p.b.LayerNorm(name, in[0], int64(bytes))
+		} else {
+			p.ports[name] = p.b.Softmax(name, in[0], int64(bytes))
+		}
+		return nil
+	case "gate":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		feat, err := a.need("feat")
+		if err != nil {
+			return err
+		}
+		ch, err := a.need("choices")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Gate(name, in[0], feat, ch)
+		return nil
+	case "switch":
+		data, err := p.from(a, "data")
+		if err != nil {
+			return err
+		}
+		mask, err := p.from(a, "mask")
+		if err != nil {
+			return err
+		}
+		n, err := a.need("branches")
+		if err != nil {
+			return err
+		}
+		p.switches[name] = p.b.Switch(name, data[0], mask[0], n)
+		return nil
+	case "merge":
+		swName, ok := a["switch"]
+		if !ok {
+			return fmt.Errorf("merge %q needs switch=", name)
+		}
+		sw, ok := p.switches[swName]
+		if !ok {
+			return fmt.Errorf("merge %q references unknown switch %q", name, swName)
+		}
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		p.ports[name] = p.b.Merge(name, sw, in...)
+		return nil
+	case "sink":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		p.b.Sink(name, in[0])
+		return nil
+	case "output":
+		in, err := p.from(a, "from")
+		if err != nil {
+			return err
+		}
+		p.b.Output(name, in[0])
+		return nil
+	}
+	return fmt.Errorf("unknown operator kind %q", directive)
+}
+
+// from resolves a comma-separated port reference list ("a,b" or "sw:1").
+func (p *parser) from(a attrs, key string) ([]graph.Port, error) {
+	v, ok := a[key]
+	if !ok {
+		return nil, fmt.Errorf("missing %s=", key)
+	}
+	var out []graph.Port
+	for _, ref := range strings.Split(v, ",") {
+		port, err := p.resolve(strings.TrimSpace(ref))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, port)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s=", key)
+	}
+	return out, nil
+}
+
+func (p *parser) resolve(ref string) (graph.Port, error) {
+	if name, idx, ok := strings.Cut(ref, ":"); ok {
+		br, found := p.switches[name]
+		if !found {
+			return graph.Port{}, fmt.Errorf("unknown switch %q in %q", name, ref)
+		}
+		k, err := strconv.Atoi(idx)
+		if err != nil || k < 0 || k >= len(br) {
+			return graph.Port{}, fmt.Errorf("bad branch index in %q", ref)
+		}
+		return br[k], nil
+	}
+	port, found := p.ports[ref]
+	if !found {
+		return graph.Port{}, fmt.Errorf("unknown operator %q", ref)
+	}
+	return port, nil
+}
+
+// attrs is a parsed key=value attribute set.
+type attrs map[string]string
+
+func parseAttrs(tokens []string) (attrs, error) {
+	a := attrs{}
+	for _, tok := range tokens {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("bad attribute %q (want key=value)", tok)
+		}
+		if _, dup := a[k]; dup {
+			return nil, fmt.Errorf("duplicate attribute %q", k)
+		}
+		a[k] = v
+	}
+	return a, nil
+}
+
+func (a attrs) intOr(key string, def int) int {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func (a attrs) need(key string) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %s=%q", key, v)
+	}
+	return n, nil
+}

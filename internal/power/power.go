@@ -1,0 +1,89 @@
+// Package power models the area and power of an Adyna tile (Table IV). The
+// paper obtained these numbers from RTL synthesis in TSMC 28 nm plus CACTI
+// 7.0 for the scratchpads; we reproduce the table with an analytic model
+// whose per-component densities are calibrated to published 28 nm data, so
+// the structure of the table — and its headline conclusion that the
+// DynNN-specific hardware costs ~5% area and well under 1% power — carries
+// over.
+package power
+
+import "repro/internal/hw"
+
+// Component is one row of Table IV.
+type Component struct {
+	Name    string
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// TileBreakdown is the per-tile area/power table.
+type TileBreakdown struct {
+	Components []Component
+}
+
+// 28 nm density constants.
+const (
+	// mm^2 per FP16 MAC unit including local pipeline registers.
+	areaPerMACmm2 = 1.93e-3
+	// mW per FP16 MAC at 1 GHz under typical activity.
+	powerPerMACmW = 1.129
+	// mm^2 and mW per kB of SRAM (CACTI-class 28 nm single-port).
+	areaPerSRAMKBmm2 = 2.76e-3
+	powerPerSRAMKBmW = 0.484
+	// Dispatcher + controller (+ profiler): synthesized control logic.
+	dispatcherAreaMM2 = 0.148
+	dispatcherPowerMW = 10.409
+	// Router + network interface.
+	routerAreaMM2 = 0.025
+	routerPowerMW = 1.646
+)
+
+// Tile returns the Table IV breakdown for one tile of cfg.
+func Tile(cfg hw.Config) TileBreakdown {
+	macs := float64(cfg.PEsPerTile())
+	sramKB := float64(cfg.ScratchpadBytes) / 1024
+	return TileBreakdown{Components: []Component{
+		{Name: "PE array", AreaMM2: macs * areaPerMACmm2, PowerMW: macs * powerPerMACmW},
+		{Name: "Scratchpad", AreaMM2: sramKB * areaPerSRAMKBmm2, PowerMW: sramKB * powerPerSRAMKBmW},
+		{Name: "Dispatcher + controller", AreaMM2: dispatcherAreaMM2, PowerMW: dispatcherPowerMW},
+		{Name: "Router + network interface", AreaMM2: routerAreaMM2, PowerMW: routerPowerMW},
+	}}
+}
+
+// TotalArea returns the tile area in mm^2.
+func (t TileBreakdown) TotalArea() float64 {
+	var a float64
+	for _, c := range t.Components {
+		a += c.AreaMM2
+	}
+	return a
+}
+
+// TotalPower returns the tile power in mW.
+func (t TileBreakdown) TotalPower() float64 {
+	var p float64
+	for _, c := range t.Components {
+		p += c.PowerMW
+	}
+	return p
+}
+
+// DynNNOverheadShare returns the fraction of tile area and power spent on
+// the DynNN-specific additions (dispatcher, controller/profiler, enhanced
+// network interface) — the paper reports about 4.9% area.
+func (t TileBreakdown) DynNNOverheadShare() (area, power float64) {
+	var oa, op float64
+	for _, c := range t.Components {
+		if c.Name == "Dispatcher + controller" || c.Name == "Router + network interface" {
+			oa += c.AreaMM2
+			op += c.PowerMW
+		}
+	}
+	return oa / t.TotalArea(), op / t.TotalPower()
+}
+
+// ChipPowerW returns whole-chip power in watts (the paper quotes 201 W for
+// the 144-tile configuration, against the A100's 350 W).
+func ChipPowerW(cfg hw.Config) float64 {
+	return Tile(cfg).TotalPower() * float64(cfg.Tiles()) / 1000
+}

@@ -1,0 +1,420 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestInitialSpansRange(t *testing.T) {
+	vals := Initial(128, 8)
+	if len(vals) != 8 {
+		t.Fatalf("len = %d, want 8", len(vals))
+	}
+	if vals[len(vals)-1] != 128 {
+		t.Fatal("max value must be included")
+	}
+	if !sort.IntsAreSorted(vals) {
+		t.Fatalf("not sorted: %v", vals)
+	}
+	want := []int{16, 32, 48, 64, 80, 96, 112, 128}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestInitialEdgeCases(t *testing.T) {
+	if got := Initial(0, 8); got != nil {
+		t.Fatalf("max 0 should yield nil, got %v", got)
+	}
+	if got := Initial(5, 100); len(got) != 5 {
+		t.Fatalf("budget beyond max should collapse to max values: %v", got)
+	}
+	if got := Initial(100, 1); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("budget 1 must keep only the max: %v", got)
+	}
+	// Dedup: max=3, budget=2 -> 1,3 (no duplicates).
+	got := Initial(3, 2)
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("duplicates in %v", got)
+		}
+	}
+}
+
+func TestBinByKernels(t *testing.T) {
+	ft := graph.NewFreqTable(16)
+	for _, v := range []int{1, 2, 3, 8, 8, 9, 16, 0} {
+		ft.Observe(v)
+	}
+	bins := BinByKernels(ft, []int{4, 8, 16})
+	// (0,4]: 1,2,3 -> 3; (4,8]: 8,8 -> 2; (8,16]: 9,16 -> 2. Zero dropped.
+	want := []float64{3, 2, 2}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+}
+
+func TestRedistributeConservesMass(t *testing.T) {
+	vals := []int{4, 8, 16}
+	freq := []float64{3, 2, 2}
+	newVals := []int{2, 8, 16}
+	nf := Redistribute(vals, freq, newVals)
+	if got, want := sum(nf), sum(freq); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mass %v -> %v", want, got)
+	}
+	// Bin (0,4] splits across 2 (half) and 8 (rest).
+	if nf[0] != 1.5 {
+		t.Fatalf("newFreq[0] = %v, want 1.5", nf[0])
+	}
+}
+
+func TestRedistributeUncoveredIntervalFlowsUp(t *testing.T) {
+	// Old bin (0,4] has no new sample inside; its mass must flow to the next
+	// larger new sample (8), not vanish.
+	nf := Redistribute([]int{4, 16}, []float64{5, 1}, []int{8, 16})
+	// Bin (0,4] -> all 5 to sample 8; bin (4,16] splits 1/3 : 2/3 across 8, 16.
+	if math.Abs(nf[0]-(5+1.0/3)) > 1e-9 || math.Abs(nf[1]-2.0/3) > 1e-9 {
+		t.Fatalf("nf = %v", nf)
+	}
+}
+
+func TestRedistributeBelowSmallest(t *testing.T) {
+	nf := Redistribute([]int{2, 16}, []float64{7, 1}, []int{4, 16})
+	// Bin (0,2] sits wholly below the smallest new sample: all 7 land in
+	// bin 0, plus a 2/14 share of the (2,16] bin.
+	if nf[0] < 7 || math.Abs(sum(nf)-8) > 1e-9 {
+		t.Fatalf("mass below smallest new sample must land in bin 0: %v", nf)
+	}
+}
+
+func TestResamplePreservesInvariants(t *testing.T) {
+	vals := Initial(128, 8)
+	ft := graph.NewFreqTable(128)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := int(rng.NormFloat64()*6 + 20) // concentrated near 20
+		if v < 1 {
+			v = 1
+		}
+		if v > 128 {
+			v = 128
+		}
+		ft.Observe(v)
+	}
+	freq := BinByKernels(ft, vals)
+	newVals, newFreq, err := Resample(vals, freq, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newVals) != len(vals) {
+		t.Fatalf("sample count changed: %d -> %d", len(vals), len(newVals))
+	}
+	if !sort.IntsAreSorted(newVals) {
+		t.Fatalf("not sorted: %v", newVals)
+	}
+	for i := 1; i < len(newVals); i++ {
+		if newVals[i] == newVals[i-1] {
+			t.Fatalf("duplicate values: %v", newVals)
+		}
+	}
+	if newVals[len(newVals)-1] != 128 {
+		t.Fatalf("max must be preserved: %v", newVals)
+	}
+	if len(newFreq) != len(newVals) {
+		t.Fatal("frequency vector length mismatch")
+	}
+}
+
+func TestResampleReducesLoss(t *testing.T) {
+	// A distribution concentrated at small values: re-sampling should move
+	// kernels down and reduce the matching loss.
+	vals := Initial(1024, 8)
+	ft := graph.NewFreqTable(1024)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		v := 1 + rng.Intn(40) // all mass in [1, 40]
+		ft.Observe(v)
+	}
+	before := Loss(vals, ft)
+	newVals, err := ResampleFromTable(vals, ft, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Loss(newVals, ft)
+	if after >= before {
+		t.Fatalf("loss did not improve: %v -> %v (vals %v -> %v)", before, after, vals, newVals)
+	}
+	// The improvement should be substantial for such a skewed distribution.
+	if after > before/2 {
+		t.Fatalf("loss only improved %v -> %v; expected at least 2x", before, after)
+	}
+	// More samples should now sit at or below 64.
+	small := 0
+	for _, v := range newVals {
+		if v <= 64 {
+			small++
+		}
+	}
+	if small < 4 {
+		t.Fatalf("samples did not move toward the mass: %v", newVals)
+	}
+}
+
+func TestResampleUniformDistributionStable(t *testing.T) {
+	// With a uniform distribution the initial uniform set is near-optimal;
+	// resampling must not blow up or change the count.
+	vals := Initial(128, 8)
+	ft := graph.NewFreqTable(128)
+	for v := 1; v <= 128; v++ {
+		for i := 0; i < 10; i++ {
+			ft.Observe(v)
+		}
+	}
+	before := Loss(vals, ft)
+	newVals, err := ResampleFromTable(vals, ft, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Loss(newVals, ft)
+	if after > before*1.05 {
+		t.Fatalf("uniform loss regressed: %v -> %v", before, after)
+	}
+}
+
+func TestResampleValidatesInput(t *testing.T) {
+	if _, _, err := Resample([]int{1, 2}, []float64{1}, 4); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Resample(nil, nil, 4); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, _, err := Resample([]int{5, 2}, []float64{1, 1}, 4); err == nil {
+		t.Fatal("unsorted values accepted")
+	}
+}
+
+func TestResampleSingleValueNoop(t *testing.T) {
+	vals, freq, err := Resample([]int{42}, []float64{10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 42 || freq[0] != 10 {
+		t.Fatalf("single-value set must be untouched: %v %v", vals, freq)
+	}
+}
+
+func TestLossZeroWhenExactMatch(t *testing.T) {
+	ft := graph.NewFreqTable(64)
+	ft.Observe(16)
+	ft.Observe(32)
+	if got := Loss([]int{16, 32, 64}, ft); got != 0 {
+		t.Fatalf("exact matches must have zero loss, got %v", got)
+	}
+	if got := Loss([]int{20, 40, 64}, ft); got != 4+8 {
+		t.Fatalf("loss = %v, want 12", got)
+	}
+	if got := Loss(nil, ft); !math.IsInf(got, 1) {
+		t.Fatal("empty sample set must have infinite loss")
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Property: Redistribute conserves total mass for arbitrary inputs.
+func TestQuickRedistributeConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		vals := uniqueSorted(rng, n, 500)
+		freq := make([]float64, len(vals))
+		for i := range freq {
+			freq[i] = float64(rng.Intn(100))
+		}
+		m := 2 + rng.Intn(10)
+		newVals := uniqueSorted(rng, m, 500)
+		nf := Redistribute(vals, freq, newVals)
+		return math.Abs(sum(nf)-sum(freq)) < 1e-6 && len(nf) == len(newVals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Resample never loses the ability to serve the maximum value and
+// never increases loss on the distribution it was given.
+func TestQuickResampleSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		max := 64 + rng.Intn(512)
+		budget := 4 + rng.Intn(12)
+		vals := Initial(max, budget)
+		ft := graph.NewFreqTable(max)
+		// Random mixture of two normal clusters.
+		c1 := 1 + rng.Intn(max)
+		c2 := 1 + rng.Intn(max)
+		for i := 0; i < 2000; i++ {
+			c := c1
+			if rng.Intn(2) == 0 {
+				c = c2
+			}
+			v := int(rng.NormFloat64()*float64(max)/16) + c
+			if v < 1 {
+				v = 1
+			}
+			if v > max {
+				v = max
+			}
+			ft.Observe(v)
+		}
+		before := Loss(vals, ft)
+		newVals, err := ResampleFromTable(vals, ft, 2*budget)
+		if err != nil {
+			return false
+		}
+		if newVals[len(newVals)-1] != max {
+			return false
+		}
+		if len(newVals) != len(vals) {
+			return false
+		}
+		// The greedy algorithm operates on binned estimates, so allow a small
+		// tolerance, but it must never substantially regress.
+		return Loss(newVals, ft) <= before*1.10+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uniqueSorted(rng *rand.Rand, n, max int) []int {
+	seen := map[int]bool{}
+	var vals []int
+	for len(vals) < n {
+		v := 1 + rng.Intn(max)
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func BenchmarkResample(b *testing.B) {
+	vals := Initial(8192, 32)
+	ft := graph.NewFreqTable(8192)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		ft.Observe(1 + rng.Intn(2000))
+	}
+	freq := BinByKernels(ft, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Resample(vals, freq, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOptimalValuesExactOnTinyCase(t *testing.T) {
+	// Distribution at {2, 10} with heavy mass; budget 2 must pick exactly
+	// {2, 10} (zero loss).
+	ft := graph.NewFreqTable(16)
+	for i := 0; i < 5; i++ {
+		ft.Observe(2)
+		ft.Observe(10)
+	}
+	got := OptimalValues(ft, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 10 {
+		t.Fatalf("optimal = %v, want [2 10]", got)
+	}
+	if Loss(got, ft) != 0 {
+		t.Fatalf("loss = %v, want 0", Loss(got, ft))
+	}
+	// Budget 1 keeps the maximum.
+	one := OptimalValues(ft, 1)
+	if len(one) != 1 || one[0] != 10 {
+		t.Fatalf("budget-1 optimal = %v, want [10]", one)
+	}
+}
+
+func TestOptimalValuesBudgetCoversAll(t *testing.T) {
+	ft := graph.NewFreqTable(8)
+	for _, v := range []int{1, 3, 7} {
+		ft.Observe(v)
+	}
+	got := OptimalValues(ft, 10)
+	if len(got) != 3 {
+		t.Fatalf("budget beyond distinct values: %v", got)
+	}
+	if Loss(got, ft) != 0 {
+		t.Fatal("covering all values must have zero loss")
+	}
+}
+
+// TestGreedyWithinFactorOfOptimal validates Algorithm 1: across random
+// skewed distributions, the greedy re-sampled set's loss stays within a
+// small factor of the exact DP optimum.
+func TestGreedyWithinFactorOfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	worst := 1.0
+	for trial := 0; trial < 12; trial++ {
+		max := 200 + rng.Intn(300)
+		ft := graph.NewFreqTable(max)
+		// Mixture of two clusters plus a uniform floor, capped at ~150
+		// distinct values to keep the DP fast.
+		c1, c2 := 1+rng.Intn(max/2), max/2+rng.Intn(max/2)
+		for i := 0; i < 4000; i++ {
+			var v int
+			switch rng.Intn(4) {
+			case 0:
+				v = c1 + rng.Intn(20)
+			case 1, 2:
+				v = c2 + rng.Intn(20)
+			default:
+				v = 1 + rng.Intn(max)
+			}
+			v = v % (max + 1)
+			if v < 1 {
+				v = 1
+			}
+			ft.Observe((v/3)*3 + 1) // quantize to bound distinct values
+		}
+		budget := 8 + rng.Intn(8)
+		greedy, err := ResampleFromTable(Initial(max, budget), ft, 4*budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := OptimalValues(ft, budget)
+		gl, ol := Loss(greedy, ft), Loss(opt, ft)
+		if ol <= 0 {
+			continue // optimum is exact; greedy can only tie
+		}
+		ratio := gl / ol
+		if ratio > worst {
+			worst = ratio
+		}
+		if gl+1e-9 < ol {
+			t.Fatalf("trial %d: greedy %v beats 'optimal' %v — the DP is wrong", trial, gl, ol)
+		}
+	}
+	t.Logf("worst greedy/optimal loss ratio: %.2f", worst)
+	if worst > 3.0 {
+		t.Fatalf("greedy sampling is %.1fx off optimal; the paper's algorithm should be close", worst)
+	}
+}

@@ -1,0 +1,136 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It plays the role SimPy plays in the paper's evaluation: an event queue, a
+// virtual clock, goroutine-backed processes, and synchronization primitives
+// (signals, stores, bandwidth servers) from which the accelerator model in
+// internal/accel is built.
+//
+// Time is measured in clock cycles of the simulated accelerator (1 GHz in the
+// default configuration, so one cycle is one nanosecond). All scheduling is
+// deterministic: events at the same timestamp fire in the order they were
+// scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in accelerator clock cycles.
+type Time int64
+
+// Forever is a time later than any meaningful simulation horizon.
+const Forever Time = 1<<62 - 1
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a clock plus a pending-event queue.
+// The zero value is ready to use.
+type Env struct {
+	now    Time
+	queue  eventHeap
+	seq    int64
+	nprocs int                // live processes, for deadlock detection
+	parked map[*Proc]struct{} // processes blocked in a primitive
+}
+
+// NewEnv returns a fresh simulation environment at time zero.
+func NewEnv() *Env { return &Env{parked: map[*Proc]struct{}{}} }
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule arranges for fn to run after delay cycles. A negative delay is an
+// error in the caller's logic and panics.
+func (e *Env) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not be in the past.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// step runs the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Env) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue, advancing the clock, until no events remain.
+// It returns the final simulated time.
+func (e *Env) Run() Time {
+	for e.step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps not exceeding horizon and then
+// sets the clock to horizon. Events scheduled after the horizon remain queued.
+func (e *Env) RunUntil(horizon Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= horizon {
+		e.step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Env) Pending() int { return len(e.queue) }
+
+// Live reports the number of processes that have started but not finished.
+func (e *Env) Live() int { return e.nprocs }
+
+// BlockedProcs returns the names of processes still parked in a
+// synchronization primitive. After Run has drained the event queue, a
+// non-empty result means those processes can never resume — a deadlock (or
+// an aborted run): the returned names say who was stuck and make the bug
+// findable.
+func (e *Env) BlockedProcs() []string {
+	out := make([]string, 0, len(e.parked))
+	for p := range e.parked {
+		out = append(out, p.name)
+	}
+	sort.Strings(out)
+	return out
+}

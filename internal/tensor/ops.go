@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes out[b, n] = sum_k in[b, k] * w[k, n] for a batched input
+// [B, K] and weight [K, N].
+func MatMul(in, w *Tensor) (*Tensor, error) {
+	if in.Shape.Rank() != 2 || w.Shape.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: matmul needs rank-2 operands, got %v x %v", in.Shape, w.Shape)
+	}
+	B, K := in.Shape[0], in.Shape[1]
+	if w.Shape[0] != K {
+		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", K, w.Shape[0])
+	}
+	N := w.Shape[1]
+	out := New(MustShape(B, N))
+	for b := 0; b < B; b++ {
+		inRow := in.Data[b*K : (b+1)*K]
+		outRow := out.Data[b*N : (b+1)*N]
+		for k := 0; k < K; k++ {
+			x := inRow[k]
+			if x == 0 {
+				continue
+			}
+			wRow := w.Data[k*N : (k+1)*N]
+			for n := 0; n < N; n++ {
+				outRow[n] += x * wRow[n]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Conv2D computes a stride-s same-size-less-border convolution of input
+// [B, C, H, W] with weights [M, C, R, S]. Padding is zero and symmetric when
+// pad >= 0; output spatial dims are (H+2*pad-R)/stride+1 etc.
+func Conv2D(in, w *Tensor, stride, pad int) (*Tensor, error) {
+	if in.Shape.Rank() != 4 || w.Shape.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: conv2d needs rank-4 operands, got %v x %v", in.Shape, w.Shape)
+	}
+	B, C, H, W := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	M, CC, R, S := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if C != CC {
+		return nil, fmt.Errorf("tensor: conv2d channels %d vs %d", C, CC)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("tensor: conv2d stride %d", stride)
+	}
+	OH := (H+2*pad-R)/stride + 1
+	OW := (W+2*pad-S)/stride + 1
+	if OH <= 0 || OW <= 0 {
+		return nil, fmt.Errorf("tensor: conv2d output %dx%d not positive", OH, OW)
+	}
+	out := New(MustShape(B, M, OH, OW))
+	for b := 0; b < B; b++ {
+		for m := 0; m < M; m++ {
+			for oh := 0; oh < OH; oh++ {
+				for ow := 0; ow < OW; ow++ {
+					var acc float32
+					for c := 0; c < C; c++ {
+						for r := 0; r < R; r++ {
+							ih := oh*stride + r - pad
+							if ih < 0 || ih >= H {
+								continue
+							}
+							for s := 0; s < S; s++ {
+								iw := ow*stride + s - pad
+								if iw < 0 || iw >= W {
+									continue
+								}
+								acc += in.At(b, c, ih, iw) * w.At(m, c, r, s)
+							}
+						}
+					}
+					out.Set(acc, b, m, oh, ow)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReLU applies max(0, x) elementwise, returning a new tensor.
+func ReLU(in *Tensor) *Tensor {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Add returns the elementwise sum of two same-shaped tensors.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !a.Shape.Eq(b.Shape) {
+		return nil, fmt.Errorf("tensor: add of %v vs %v", a.Shape, b.Shape)
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out, nil
+}
+
+// GlobalAvgPool reduces [B, C, H, W] to [B, C] by spatial averaging.
+func GlobalAvgPool(in *Tensor) (*Tensor, error) {
+	if in.Shape.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: pool needs rank-4, got %v", in.Shape)
+	}
+	B, C, H, W := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	out := New(MustShape(B, C))
+	area := float32(H * W)
+	for b := 0; b < B; b++ {
+		for c := 0; c < C; c++ {
+			var sum float32
+			for h := 0; h < H; h++ {
+				for w := 0; w < W; w++ {
+					sum += in.At(b, c, h, w)
+				}
+			}
+			out.Set(sum/area, b, c)
+		}
+	}
+	return out, nil
+}
+
+// LayerNorm normalizes the last dimension of a rank-2 or rank-3 tensor to
+// zero mean and unit variance (no learned scale/shift, eps 1e-5).
+func LayerNorm(in *Tensor) (*Tensor, error) {
+	r := in.Shape.Rank()
+	if r < 2 {
+		return nil, fmt.Errorf("tensor: layernorm needs rank >= 2, got %v", in.Shape)
+	}
+	last := in.Shape[r-1]
+	if last == 0 {
+		return in.Clone(), nil
+	}
+	out := in.Clone()
+	rows := int(in.Shape.Elems()) / last
+	const eps = 1e-5
+	for i := 0; i < rows; i++ {
+		row := out.Data[i*last : (i+1)*last]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(last)
+		var vari float64
+		for _, v := range row {
+			d := float64(v) - mean
+			vari += d * d
+		}
+		vari /= float64(last)
+		inv := 1 / math.Sqrt(vari+eps)
+		for j, v := range row {
+			row[j] = float32((float64(v) - mean) * inv)
+		}
+	}
+	return out, nil
+}
+
+// Softmax applies softmax over the last dimension.
+func Softmax(in *Tensor) (*Tensor, error) {
+	r := in.Shape.Rank()
+	if r < 1 {
+		return nil, fmt.Errorf("tensor: softmax needs rank >= 1")
+	}
+	last := in.Shape[r-1]
+	if last == 0 {
+		return in.Clone(), nil
+	}
+	out := in.Clone()
+	rows := int(in.Shape.Elems()) / last
+	for i := 0; i < rows; i++ {
+		row := out.Data[i*last : (i+1)*last]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[j] = float32(e)
+			sum += e
+		}
+		for j := range row {
+			row[j] = float32(float64(row[j]) / sum)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+// Package tensor provides shape algebra and small float32 reference
+// implementations of the operators that appear in the evaluated DynNNs.
+//
+// The simulator never touches tensor *contents* — Adyna's mechanisms depend
+// only on shapes and routing masks — but the reference kernels let tests and
+// examples verify end-to-end that dynamic switch/merge routing is functionally
+// lossless (every sample's data reaches exactly the operators its routing mask
+// activates).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape is an ordered list of dimension extents. Conventions follow the
+// paper's operators: activations are [batch, channel, height, width] for CV
+// and [batch, sequence, feature] for NLP; weights are operator-specific.
+type Shape []int
+
+// NewShape copies dims into a fresh Shape, validating positivity.
+// A zero extent is allowed: dynamic branches can receive empty batches.
+func NewShape(dims ...int) (Shape, error) {
+	for _, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("tensor: negative dimension %d in %v", d, dims)
+		}
+	}
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s, nil
+}
+
+// MustShape is NewShape that panics on error, for literals in tests and
+// model builders.
+func MustShape(dims ...int) Shape {
+	s, err := NewShape(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Elems returns the total element count (zero if any extent is zero).
+func (s Shape) Elems() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Bytes returns the storage size at the given word width.
+func (s Shape) Bytes(bytesPerWord int) int64 {
+	return s.Elems() * int64(bytesPerWord)
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// WithDim returns a copy of s with dimension i set to v.
+func (s Shape) WithDim(i, v int) Shape {
+	c := s.Clone()
+	c[i] = v
+	return c
+}
+
+// Eq reports whether two shapes are identical.
+func (s Shape) Eq(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	out := "["
+	for i, d := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(d)
+	}
+	return out + "]"
+}
+
+// Tensor is a dense float32 tensor in row-major layout.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape Shape) *Tensor {
+	return &Tensor{Shape: shape.Clone(), Data: make([]float32, shape.Elems())}
+}
+
+// FromData wraps data in a tensor after checking the element count.
+func FromData(shape Shape, data []float32) (*Tensor, error) {
+	if int64(len(data)) != shape.Elems() {
+		return nil, fmt.Errorf("tensor: %d values for shape %v (%d elems)", len(data), shape, shape.Elems())
+	}
+	return &Tensor{Shape: shape.Clone(), Data: data}, nil
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SampleSize returns the number of elements in one batch sample, i.e. the
+// product of all dimensions after the first. It is well defined even for an
+// empty batch (a dynamic branch that received no samples).
+func (t *Tensor) SampleSize() int {
+	if len(t.Shape) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range t.Shape[1:] {
+		n *= d
+	}
+	return n
+}
+
+// Sample returns a view (shared storage) of sample b along dimension 0.
+func (t *Tensor) Sample(b int) []float32 {
+	n := t.SampleSize()
+	return t.Data[b*n : (b+1)*n]
+}
+
+// GatherBatch builds a new tensor containing the listed batch indices of t,
+// in order. It implements the data movement of a switch operator branch.
+func (t *Tensor) GatherBatch(idx []int) *Tensor {
+	shape := t.Shape.WithDim(0, len(idx))
+	out := New(shape)
+	n := t.SampleSize()
+	for i, b := range idx {
+		copy(out.Data[i*n:(i+1)*n], t.Sample(b))
+	}
+	return out
+}
+
+// ScatterBatch writes the samples of src into the listed batch positions of
+// t. It implements the data movement of a merge operator.
+func (t *Tensor) ScatterBatch(src *Tensor, idx []int) error {
+	if len(idx) != src.Shape[0] {
+		return fmt.Errorf("tensor: scatter %d indices for %d samples", len(idx), src.Shape[0])
+	}
+	if src.SampleSize() != t.SampleSize() {
+		return fmt.Errorf("tensor: scatter sample size %d into %d", src.SampleSize(), t.SampleSize())
+	}
+	n := t.SampleSize()
+	for i, b := range idx {
+		if b < 0 || b >= t.Shape[0] {
+			return fmt.Errorf("tensor: scatter index %d outside batch %d", b, t.Shape[0])
+		}
+		copy(t.Data[b*n:(b+1)*n], src.Sample(i))
+	}
+	return nil
+}
+
+// AddInto accumulates src into the listed batch positions of t (used by
+// merges that sum contributions from multiple branches, e.g. top-2 MoE).
+func (t *Tensor) AddInto(src *Tensor, idx []int) error {
+	if len(idx) != src.Shape[0] {
+		return fmt.Errorf("tensor: add %d indices for %d samples", len(idx), src.Shape[0])
+	}
+	n := t.SampleSize()
+	for i, b := range idx {
+		dst := t.Data[b*n : (b+1)*n]
+		s := src.Sample(i)
+		for j := range dst {
+			dst[j] += s[j]
+		}
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// same-shaped tensors.
+func MaxAbsDiff(a, b *Tensor) (float64, error) {
+	if !a.Shape.Eq(b.Shape) {
+		return 0, fmt.Errorf("tensor: diff of %v vs %v", a.Shape, b.Shape)
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,424 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := MustShape(4, 3, 8, 8)
+	if s.Rank() != 4 {
+		t.Fatalf("rank = %d", s.Rank())
+	}
+	if s.Elems() != 4*3*8*8 {
+		t.Fatalf("elems = %d", s.Elems())
+	}
+	if s.Bytes(2) != 2*4*3*8*8 {
+		t.Fatalf("bytes = %d", s.Bytes(2))
+	}
+	if s.String() != "[4,3,8,8]" {
+		t.Fatalf("string = %q", s.String())
+	}
+	w := s.WithDim(0, 7)
+	if w[0] != 7 || s[0] != 4 {
+		t.Fatal("WithDim must not mutate the receiver")
+	}
+	if !s.Eq(MustShape(4, 3, 8, 8)) || s.Eq(w) || s.Eq(MustShape(4, 3)) {
+		t.Fatal("Eq misbehaves")
+	}
+}
+
+func TestNewShapeRejectsNegative(t *testing.T) {
+	if _, err := NewShape(3, -1); err == nil {
+		t.Fatal("expected error for negative dim")
+	}
+}
+
+func TestZeroBatchAllowed(t *testing.T) {
+	s := MustShape(0, 16)
+	if s.Elems() != 0 {
+		t.Fatalf("elems = %d, want 0", s.Elems())
+	}
+	// Per-sample size stays meaningful for an empty batch so that scatter
+	// of an empty branch validates cleanly.
+	tt := New(s)
+	if tt.SampleSize() != 16 {
+		t.Fatalf("sample size = %d, want 16", tt.SampleSize())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(MustShape(2, 3, 4))
+	x.Set(42, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 42 {
+		t.Fatalf("At = %v", got)
+	}
+	if got := x.At(0, 0, 0); got != 0 {
+		t.Fatalf("untouched element = %v", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(MustShape(2, 2)).At(2, 0)
+}
+
+func TestFromDataChecksCount(t *testing.T) {
+	if _, err := FromData(MustShape(2, 2), []float32{1, 2, 3}); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	x, err := FromData(MustShape(2, 2), []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 1) != 4 {
+		t.Fatalf("At(1,1) = %v", x.At(1, 1))
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	src := New(MustShape(5, 3))
+	for i := range src.Data {
+		src.Data[i] = float32(i)
+	}
+	idx := []int{4, 1, 3}
+	g := src.GatherBatch(idx)
+	if g.Shape[0] != 3 {
+		t.Fatalf("gathered batch = %d", g.Shape[0])
+	}
+	if g.At(0, 0) != src.At(4, 0) || g.At(2, 2) != src.At(3, 2) {
+		t.Fatal("gather copied wrong samples")
+	}
+	dst := New(MustShape(5, 3))
+	if err := dst.ScatterBatch(g, idx); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range idx {
+		for j := 0; j < 3; j++ {
+			if dst.At(b, j) != src.At(b, j) {
+				t.Fatalf("scatter mismatch at (%d,%d)", b, j)
+			}
+		}
+	}
+	// Untouched rows stay zero.
+	for j := 0; j < 3; j++ {
+		if dst.At(0, j) != 0 || dst.At(2, j) != 0 {
+			t.Fatal("scatter wrote rows it should not have")
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	dst := New(MustShape(4, 2))
+	src := New(MustShape(2, 2))
+	if err := dst.ScatterBatch(src, []int{0}); err == nil {
+		t.Fatal("expected index-count error")
+	}
+	if err := dst.ScatterBatch(src, []int{0, 9}); err == nil {
+		t.Fatal("expected range error")
+	}
+	bad := New(MustShape(2, 3))
+	if err := dst.ScatterBatch(bad, []int{0, 1}); err == nil {
+		t.Fatal("expected sample-size error")
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	dst := New(MustShape(3, 2))
+	src := New(MustShape(2, 2))
+	for i := range src.Data {
+		src.Data[i] = 1
+	}
+	if err := dst.AddInto(src, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.At(1, 0) != 2 {
+		t.Fatalf("accumulation = %v, want 2", dst.At(1, 0))
+	}
+	if dst.At(0, 0) != 0 {
+		t.Fatal("untouched row changed")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a, _ := FromData(MustShape(2, 3), []float32{1, 2, 3, 4, 5, 6})
+	w, _ := FromData(MustShape(3, 2), []float32{7, 8, 9, 10, 11, 12})
+	out, err := MatMul(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("matmul = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := New(MustShape(2, 3))
+	if _, err := MatMul(a, New(MustShape(4, 2))); err == nil {
+		t.Fatal("expected inner-dim error")
+	}
+	if _, err := MatMul(a, New(MustShape(3))); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	in := New(MustShape(1, 1, 4, 4))
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	w := New(MustShape(1, 1, 1, 1))
+	w.Data[0] = 1
+	out, err := Conv2D(in, w, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Eq(in.Shape) {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatal("1x1 identity conv must copy input")
+		}
+	}
+}
+
+func TestConv2DSumKernel(t *testing.T) {
+	in := New(MustShape(1, 1, 3, 3))
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := New(MustShape(1, 1, 3, 3))
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out, err := Conv2D(in, w, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center sees all 9 ones, corners see 4.
+	if got := out.At(0, 0, 1, 1); got != 9 {
+		t.Fatalf("center = %v, want 9", got)
+	}
+	if got := out.At(0, 0, 0, 0); got != 4 {
+		t.Fatalf("corner = %v, want 4", got)
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := New(MustShape(1, 1, 4, 4))
+	w := New(MustShape(2, 1, 2, 2))
+	out, err := Conv2D(in, w, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Eq(MustShape(1, 2, 2, 2)) {
+		t.Fatalf("shape = %v, want [1,2,2,2]", out.Shape)
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	in := New(MustShape(1, 2, 4, 4))
+	if _, err := Conv2D(in, New(MustShape(1, 3, 3, 3)), 1, 0); err == nil {
+		t.Fatal("expected channel mismatch")
+	}
+	if _, err := Conv2D(in, New(MustShape(1, 2, 3, 3)), 0, 0); err == nil {
+		t.Fatal("expected stride error")
+	}
+	if _, err := Conv2D(in, New(MustShape(1, 2, 8, 8)), 1, 0); err == nil {
+		t.Fatal("expected output-size error")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x, _ := FromData(MustShape(4), []float32{-1, 0, 2, -3})
+	y := ReLU(x)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu = %v", y.Data)
+		}
+	}
+	if x.Data[0] != -1 {
+		t.Fatal("ReLU must not mutate input")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a, _ := FromData(MustShape(2), []float32{1, 2})
+	b, _ := FromData(MustShape(2), []float32{10, 20})
+	c, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Data[0] != 11 || c.Data[1] != 22 {
+		t.Fatalf("add = %v", c.Data)
+	}
+	if _, err := Add(a, New(MustShape(3))); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := New(MustShape(1, 2, 2, 2))
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out, err := GlobalAvgPool(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.At(0, 0); got != 1.5 { // mean of 0,1,2,3
+		t.Fatalf("pool = %v, want 1.5", got)
+	}
+	if got := out.At(0, 1); got != 5.5 { // mean of 4,5,6,7
+		t.Fatalf("pool = %v, want 5.5", got)
+	}
+}
+
+func TestLayerNormStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := New(MustShape(3, 64))
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64()*3 + 5)
+	}
+	out, err := LayerNorm(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		row := out.Data[r*64 : (r+1)*64]
+		var mean, vari float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= 64
+		for _, v := range row {
+			vari += (float64(v) - mean) * (float64(v) - mean)
+		}
+		vari /= 64
+		if math.Abs(mean) > 1e-4 || math.Abs(vari-1) > 1e-3 {
+			t.Fatalf("row %d: mean=%v var=%v", r, mean, vari)
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	in, _ := FromData(MustShape(2, 3), []float32{1, 2, 3, -10, 0, 10})
+	out, err := Softmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := out.At(r, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+// Property: gather followed by scatter into a zero tensor is the identity on
+// the gathered rows and zero elsewhere.
+func TestQuickGatherScatter(t *testing.T) {
+	f := func(seed int64, rawIdx []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const B, F = 16, 5
+		src := New(MustShape(B, F))
+		for i := range src.Data {
+			src.Data[i] = rng.Float32()
+		}
+		seen := map[int]bool{}
+		var idx []int
+		for _, r := range rawIdx {
+			b := int(r) % B
+			if !seen[b] {
+				seen[b] = true
+				idx = append(idx, b)
+			}
+		}
+		g := src.GatherBatch(idx)
+		dst := New(MustShape(B, F))
+		if err := dst.ScatterBatch(g, idx); err != nil {
+			return false
+		}
+		for b := 0; b < B; b++ {
+			for j := 0; j < F; j++ {
+				want := float32(0)
+				if seen[b] {
+					want = src.At(b, j)
+				}
+				if dst.At(b, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul is linear in its first argument:
+// (a1 + a2) W == a1 W + a2 W.
+func TestQuickMatMulLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const B, K, N = 3, 4, 5
+		mk := func() *Tensor {
+			x := New(MustShape(B, K))
+			for i := range x.Data {
+				x.Data[i] = float32(rng.NormFloat64())
+			}
+			return x
+		}
+		a1, a2 := mk(), mk()
+		w := New(MustShape(K, N))
+		for i := range w.Data {
+			w.Data[i] = float32(rng.NormFloat64())
+		}
+		sum, _ := Add(a1, a2)
+		lhs, _ := MatMul(sum, w)
+		r1, _ := MatMul(a1, w)
+		r2, _ := MatMul(a2, w)
+		rhs, _ := Add(r1, r2)
+		d, _ := MaxAbsDiff(lhs, rhs)
+		return d < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	in := New(MustShape(128, 64))
+	w := New(MustShape(64, 64))
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(in, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Recording is a serialized routing trace: everything needed to replay the
+// exact same dynamic behaviour against the same model, across processes. It
+// substitutes for the paper's recorded inference traces (e.g. the SkipNet on
+// ImageNet trace behind Figure 6).
+type Recording struct {
+	// Model is the workload name the trace was generated for.
+	Model string `json:"model"`
+	// BatchSamples is the batch size in samples.
+	BatchSamples int `json:"batch_samples"`
+	// Seed is the generator seed (for provenance).
+	Seed int64 `json:"seed"`
+	// Batches holds the per-batch routing decisions.
+	Batches []RecordedBatch `json:"batches"`
+}
+
+// RecordedBatch is the JSON form of one Batch.
+type RecordedBatch struct {
+	Units int `json:"units"`
+	// Routing maps the switch operator ID (as a string, JSON object keys)
+	// to the per-branch unit index lists.
+	Routing map[string][][]int `json:"routing"`
+}
+
+// Record converts generated batches into a serializable recording.
+func Record(model string, batchSamples int, seed int64, batches []Batch) *Recording {
+	rec := &Recording{Model: model, BatchSamples: batchSamples, Seed: seed}
+	for _, b := range batches {
+		rb := RecordedBatch{Units: b.Units, Routing: map[string][][]int{}}
+		for sw, r := range b.Routing {
+			rb.Routing[strconv.Itoa(int(sw))] = r.Branch
+		}
+		rec.Batches = append(rec.Batches, rb)
+	}
+	return rec
+}
+
+// Replay converts a recording back into batches.
+func (rec *Recording) Replay() ([]Batch, error) {
+	out := make([]Batch, 0, len(rec.Batches))
+	for i, rb := range rec.Batches {
+		if rb.Units < 0 {
+			return nil, fmt.Errorf("workload: batch %d has negative units", i)
+		}
+		rt := graph.BatchRouting{}
+		for key, branches := range rb.Routing {
+			id, err := strconv.Atoi(key)
+			if err != nil {
+				return nil, fmt.Errorf("workload: batch %d has bad switch key %q", i, key)
+			}
+			rt[graph.OpID(id)] = graph.Routing{Branch: branches}
+		}
+		out = append(out, Batch{Index: i, Units: rb.Units, Routing: rt})
+	}
+	return out, nil
+}
+
+// Save writes the recording as JSON.
+func (rec *Recording) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rec)
+}
+
+// LoadRecording reads a recording from JSON.
+func LoadRecording(r io.Reader) (*Recording, error) {
+	var rec Recording
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("workload: decoding recording: %w", err)
+	}
+	return &rec, nil
+}
+
+// SwitchStats summarizes one switch's routing behaviour over a trace.
+type SwitchStats struct {
+	Switch graph.OpID
+	// BranchMean is the mean unit count per branch per batch.
+	BranchMean []float64
+	// BranchActive is the fraction of batches each branch was active in.
+	BranchActive []float64
+	// MeanArrived is the mean unit count reaching the switch.
+	MeanArrived float64
+}
+
+// Stats computes per-switch routing statistics over a trace, for trace
+// inspection tools.
+func Stats(g *graph.Graph, batches []Batch) ([]SwitchStats, error) {
+	sws := g.Switches()
+	out := make([]SwitchStats, 0, len(sws))
+	for _, swID := range sws {
+		n := g.Op(swID).NumBranches
+		st := SwitchStats{
+			Switch:       swID,
+			BranchMean:   make([]float64, n),
+			BranchActive: make([]float64, n),
+		}
+		for _, b := range batches {
+			units, err := g.AssignUnits(b.Units, b.Routing)
+			if err != nil {
+				return nil, err
+			}
+			st.MeanArrived += float64(units[swID])
+			r := b.Routing[swID]
+			for k := 0; k < n && k < len(r.Branch); k++ {
+				st.BranchMean[k] += float64(len(r.Branch[k]))
+				if len(r.Branch[k]) > 0 {
+					st.BranchActive[k]++
+				}
+			}
+		}
+		if len(batches) > 0 {
+			inv := 1 / float64(len(batches))
+			st.MeanArrived *= inv
+			for k := range st.BranchMean {
+				st.BranchMean[k] *= inv
+				st.BranchActive[k] *= inv
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

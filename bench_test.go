@@ -129,7 +129,7 @@ func BenchmarkFigure12RealtimeSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ratio = ad.CyclesPerBatch() / rt.CyclesPerBatch()
+		ratio = rt.CyclesPerBatch() / ad.CyclesPerBatch()
 	}
 	b.ReportMetric(ratio, "realtime/adyna-at-390us")
 }

@@ -8,6 +8,10 @@
 //	experiments -exp fig9                # one experiment
 //	experiments -exp fig9 -quick         # reduced scale
 //	experiments -exp fig13 -batches 100  # override trace length
+//	experiments -exp fig9 -parallel=false  # force the sequential path
+//
+// Independent simulations fan out across all CPUs by default (the results
+// are bit-identical to a sequential run; see internal/runner).
 //
 // Experiments: table3, table4, fig6, fig9, fig10, fig11, fig12, fig13,
 // reconfig, budget, sampling, hybrid, dse, latency, all.
@@ -21,15 +25,18 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table3,table4,fig6,fig9,fig10,fig11,fig12,fig13,reconfig,budget,sampling,hybrid,dse,latency,all)")
-		quick   = flag.Bool("quick", false, "reduced scale for a fast pass")
-		batches = flag.Int("batches", 0, "override measured batches")
-		batch   = flag.Int("batch", 0, "override batch size")
-		seed    = flag.Int64("seed", 1, "trace seed")
+		exp      = flag.String("exp", "all", "experiment to run (table3,table4,fig6,fig9,fig10,fig11,fig12,fig13,reconfig,budget,sampling,hybrid,dse,latency,all)")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
+		batches  = flag.Int("batches", 0, "override measured batches")
+		batch    = flag.Int("batch", 0, "override batch size")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		parallel = flag.Bool("parallel", true, "fan independent simulations out across all CPUs (results are identical either way)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU; implies -parallel)")
 	)
 	flag.Parse()
 
@@ -44,6 +51,10 @@ func main() {
 		opt.RC.Batch = *batch
 	}
 	opt.RC.Seed = *seed
+	opt.Workers = *workers
+	if !*parallel && *workers == 0 {
+		opt.Workers = runner.Serial
+	}
 
 	if err := run(strings.ToLower(*exp), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -227,15 +228,30 @@ func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (
 	}, nil
 }
 
-// RunAll executes several designs on one workload under the identical trace.
+// RunAll executes several designs on one workload under the identical trace,
+// fanning the independent simulations out across all CPUs. Every design run
+// is self-contained (its own trace source, graph, and machine), so the
+// results are identical to a serial loop.
 func RunAll(designs []Design, modelName string, rc RunConfig) (map[Design]metrics.RunResult, error) {
-	out := map[Design]metrics.RunResult{}
-	for _, d := range designs {
-		r, err := Run(d, modelName, rc)
+	return RunAllWorkers(designs, modelName, rc, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit worker count (<= 0 means one per
+// CPU, runner.Serial forces the sequential path).
+func RunAllWorkers(designs []Design, modelName string, rc RunConfig, workers int) (map[Design]metrics.RunResult, error) {
+	rs, err := runner.Map(workers, len(designs), func(i int) (metrics.RunResult, error) {
+		r, err := Run(designs[i], modelName, rc)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s on %s: %w", d, modelName, err)
+			return metrics.RunResult{}, fmt.Errorf("core: %s on %s: %w", designs[i], modelName, err)
 		}
-		out[d] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Design]metrics.RunResult, len(designs))
+	for i, d := range designs {
+		out[d] = rs[i]
 	}
 	return out, nil
 }
@@ -250,6 +266,9 @@ func BatchLatencies(d Design, modelName string, rc RunConfig) ([]float64, error)
 	pol, opts, err := policyFor(d)
 	if err != nil {
 		return nil, err
+	}
+	if d == DesignRealtime {
+		opts.OnlineSchedLatencyCycles = rc.OnlineSchedCycles
 	}
 	w, err := models.ByName(modelName, rc.Batch)
 	if err != nil {

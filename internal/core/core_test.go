@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/models"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -139,6 +140,66 @@ func TestRealtimeDesignSlowsWithLatency(t *testing.T) {
 	}
 	if slow.CyclesPerBatch() <= fast.CyclesPerBatch() {
 		t.Fatal("online scheduling latency must cost time")
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Regression: BatchLatencies used to drop rc.OnlineSchedCycles on the floor
+// for the real-time design (unlike run()), so latency measurements showed
+// the real-time alternative with a free scheduler.
+func TestBatchLatenciesRealtimeChargesSchedLatency(t *testing.T) {
+	rc := quickRC()
+	rc.OnlineSchedCycles = 390_000 // 0.39 ms at 1 GHz
+	ad, err := BatchLatencies(DesignAdyna, "skipnet", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := BatchLatencies(DesignRealtime, "skipnet", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad) == 0 || len(rt) == 0 {
+		t.Fatalf("empty latencies: adyna %d, realtime %d", len(ad), len(rt))
+	}
+	if meanOf(rt) <= meanOf(ad) {
+		t.Fatalf("real-time with %d sched cycles must exceed Adyna latencies: %f vs %f",
+			rc.OnlineSchedCycles, meanOf(rt), meanOf(ad))
+	}
+	// And the inflation must come from the scheduling latency itself.
+	rc0 := quickRC()
+	rt0, err := BatchLatencies(DesignRealtime, "skipnet", rc0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOf(rt) <= meanOf(rt0) {
+		t.Fatalf("sched latency must inflate real-time latencies: %f vs %f", meanOf(rt), meanOf(rt0))
+	}
+}
+
+// RunAll fans out across workers; the aggregated map must be identical to
+// the sequential path for the same seed.
+func TestRunAllWorkersMatchesSerial(t *testing.T) {
+	rc := quickRC()
+	rc.Batches = 8
+	serial, err := RunAllWorkers(Figure9Designs(), "fbsnet", rc, runner.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllWorkers(Figure9Designs(), "fbsnet", rc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Figure9Designs() {
+		if serial[d] != par[d] {
+			t.Fatalf("%s diverged: serial %+v vs parallel %+v", d, serial[d], par[d])
+		}
 	}
 }
 

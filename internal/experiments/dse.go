@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 // DSESweep is a design-space exploration across hardware configurations:
@@ -38,6 +39,14 @@ func DSESweep(opt Options, model string) (*metrics.Table, error) {
 		Columns: []string{"Variant", "Adyna cyc/batch", "M-tile cyc/batch",
 			"Speedup", "Adyna PE util"},
 	}
+	// Validate every variant up front, then fan the 2·|variants| independent
+	// simulations out; rows are assembled afterwards in variant order.
+	type job struct {
+		variant string
+		design  core.Design
+		rc      core.RunConfig
+	}
+	jobs := make([]job, 0, 2*len(variants))
 	for _, v := range variants {
 		cfg := base
 		v.mutate(&cfg)
@@ -46,14 +55,21 @@ func DSESweep(opt Options, model string) (*metrics.Table, error) {
 		}
 		rc := opt.RC
 		rc.HW = cfg
-		mt, err := core.Run(core.DesignMTile, model, rc)
+		jobs = append(jobs, job{v.name, core.DesignMTile, rc}, job{v.name, core.DesignAdyna, rc})
+	}
+	rs, err := runner.Map(opt.Workers, len(jobs), func(i int) (metrics.RunResult, error) {
+		j := jobs[i]
+		r, err := core.Run(j.design, model, j.rc)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %q M-tile: %w", v.name, err)
+			return metrics.RunResult{}, fmt.Errorf("experiments: %q %s: %w", j.variant, j.design, err)
 		}
-		ad, err := core.Run(core.DesignAdyna, model, rc)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %q Adyna: %w", v.name, err)
-		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		mt, ad := rs[2*i], rs[2*i+1]
 		t.AddRow(v.name,
 			metrics.F(ad.CyclesPerBatch(), 0),
 			metrics.F(mt.CyclesPerBatch(), 0),
@@ -72,11 +88,15 @@ func LatencyTable(opt Options, model string) (*metrics.Table, error) {
 		Title:   fmt.Sprintf("Per-batch completion latency (%s, cycles, window-relative)", model),
 		Columns: []string{"Design", "p50", "p95", "p99"},
 	}
-	for _, d := range []core.Design{core.DesignMTile, core.DesignAdyna} {
-		lats, err := core.BatchLatencies(d, model, opt.RC)
-		if err != nil {
-			return nil, err
-		}
+	designs := []core.Design{core.DesignMTile, core.DesignAdyna}
+	all, err := runner.Map(opt.Workers, len(designs), func(i int) ([]float64, error) {
+		return core.BatchLatencies(designs[i], model, opt.RC)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range designs {
+		lats := all[i]
 		t.AddRow(string(d),
 			metrics.F(metrics.Percentile(lats, 0.50), 0),
 			metrics.F(metrics.Percentile(lats, 0.95), 0),

@@ -14,11 +14,17 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/power"
+	"repro/internal/runner"
 )
 
 // Options parameterize an experiment run.
 type Options struct {
 	RC core.RunConfig
+	// Workers bounds the worker pool the sweeps fan their independent
+	// simulations out on: 0 (the default) uses one worker per CPU,
+	// runner.Serial (1) forces the sequential path. Results are identical
+	// either way; only wall-clock time changes.
+	Workers int
 }
 
 // Default returns the full-scale evaluation options (batch 128, 200
@@ -44,19 +50,43 @@ type Matrix struct {
 	Results map[string]map[core.Design]metrics.RunResult
 }
 
-// RunMatrix executes the Figure 9 design set on all five workloads.
+// RunMatrix executes the Figure 9 design set on all five workloads. The
+// model×design points are independent simulations under identical traces, so
+// they fan out across opt.Workers; results are keyed by model and design and
+// assembled in fixed iteration order, making every derived table
+// byte-identical to a serial run.
 func RunMatrix(opt Options) (*Matrix, error) {
 	m := &Matrix{
 		Models:  models.Names(),
 		Designs: core.Figure9Designs(),
 		Results: map[string]map[core.Design]metrics.RunResult{},
 	}
+	type point struct {
+		model  string
+		design core.Design
+	}
+	pts := make([]point, 0, len(m.Models)*len(m.Designs))
 	for _, name := range m.Models {
-		res, err := core.RunAll(m.Designs, name, opt.RC)
-		if err != nil {
-			return nil, err
+		for _, d := range m.Designs {
+			pts = append(pts, point{name, d})
 		}
-		m.Results[name] = res
+	}
+	rs, err := runner.Map(opt.Workers, len(pts), func(i int) (metrics.RunResult, error) {
+		p := pts[i]
+		r, err := core.Run(p.design, p.model, opt.RC)
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("core: %s on %s: %w", p.design, p.model, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if m.Results[p.model] == nil {
+			m.Results[p.model] = map[core.Design]metrics.RunResult{}
+		}
+		m.Results[p.model][p.design] = rs[i]
 	}
 	return m, nil
 }

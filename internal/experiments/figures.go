@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/runner"
 	"repro/internal/sampling"
 	"repro/internal/workload"
 )
@@ -111,14 +112,36 @@ func Figure12(opt Options, latenciesUS []float64) (*metrics.Figure, float64, err
 	if len(latenciesUS) == 0 {
 		latenciesUS = []float64{0, 25, 50, 100, 200, 390, 600, 1000}
 	}
-	// Adyna reference per model.
+	names := models.Names()
+	// Adyna reference per model, fanned out across workers.
+	refs, err := runner.Map(opt.Workers, len(names), func(i int) (metrics.RunResult, error) {
+		return core.Run(core.DesignAdyna, names[i], opt.RC)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	adyna := map[string]float64{}
-	for _, name := range models.Names() {
-		r, err := core.Run(core.DesignAdyna, name, opt.RC)
-		if err != nil {
-			return nil, 0, err
+	for i, name := range names {
+		adyna[name] = refs[i].CyclesPerBatch()
+	}
+	// Real-time runs: every latency×model point is independent.
+	type point struct {
+		model string
+		rc    core.RunConfig
+	}
+	pts := make([]point, 0, len(latenciesUS)*len(names))
+	for _, us := range latenciesUS {
+		rc := opt.RC
+		rc.OnlineSchedCycles = int64(us * 1000 * rc.HW.ClockGHz)
+		for _, name := range names {
+			pts = append(pts, point{name, rc})
 		}
-		adyna[name] = r.CyclesPerBatch()
+	}
+	rts, err := runner.Map(opt.Workers, len(pts), func(i int) (metrics.RunResult, error) {
+		return core.Run(core.DesignRealtime, pts[i].model, pts[i].rc)
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	fig := &metrics.Figure{
 		Title:  "Figure 12: real-time scheduling vs Adyna",
@@ -129,15 +152,9 @@ func Figure12(opt Options, latenciesUS []float64) (*metrics.Figure, float64, err
 	var crossover float64 = math.NaN()
 	var prevX, prevY float64
 	for i, us := range latenciesUS {
-		rc := opt.RC
-		rc.OnlineSchedCycles = int64(us * 1000 * rc.HW.ClockGHz)
 		var ratios []float64
-		for _, name := range models.Names() {
-			r, err := core.Run(core.DesignRealtime, name, rc)
-			if err != nil {
-				return nil, 0, err
-			}
-			ratios = append(ratios, adyna[name]/r.CyclesPerBatch())
+		for j, name := range names {
+			ratios = append(ratios, adyna[name]/rts[i*len(names)+j].CyclesPerBatch())
 		}
 		y := metrics.Geomean(ratios)
 		s.X = append(s.X, us)
@@ -164,24 +181,43 @@ func Figure13(opt Options, batchSizes []int) (*metrics.Figure, error) {
 		YLabel: "geomean speedup",
 	}
 	all := metrics.Series{Name: "geomean"}
+	names := models.Names()
 	perModel := map[string]*metrics.Series{}
-	for _, name := range models.Names() {
+	for _, name := range names {
 		perModel[name] = &metrics.Series{Name: name}
 	}
+	// Every batch-size×model point is an independent pair of simulations;
+	// fan them out and assemble the series in sweep order afterwards.
+	type point struct {
+		model string
+		rc    core.RunConfig
+	}
+	pts := make([]point, 0, len(batchSizes)*len(names))
 	for _, bs := range batchSizes {
 		rc := opt.RC
 		rc.Batch = bs
+		for _, name := range names {
+			pts = append(pts, point{name, rc})
+		}
+	}
+	speedups, err := runner.Map(opt.Workers, len(pts), func(i int) (float64, error) {
+		mt, err := core.Run(core.DesignMTile, pts[i].model, pts[i].rc)
+		if err != nil {
+			return 0, err
+		}
+		ad, err := core.Run(core.DesignAdyna, pts[i].model, pts[i].rc)
+		if err != nil {
+			return 0, err
+		}
+		return ad.SpeedupOver(mt), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range batchSizes {
 		var sp []float64
-		for _, name := range models.Names() {
-			mt, err := core.Run(core.DesignMTile, name, rc)
-			if err != nil {
-				return nil, err
-			}
-			ad, err := core.Run(core.DesignAdyna, name, rc)
-			if err != nil {
-				return nil, err
-			}
-			s := ad.SpeedupOver(mt)
+		for j, name := range names {
+			s := speedups[i*len(names)+j]
 			sp = append(sp, s)
 			perModel[name].X = append(perModel[name].X, float64(bs))
 			perModel[name].Y = append(perModel[name].Y, s)
@@ -231,18 +267,35 @@ func KernelBudgetSweep(opt Options, budgets []int) (*metrics.Figure, error) {
 		YLabel: "geomean speedup over M-tile",
 	}
 	s := metrics.Series{Name: "adyna"}
+	names := models.Names()
+	// The M-tile reference does not depend on the kernel budget: run it once
+	// per model instead of once per sweep point.
+	mts, err := runner.Map(opt.Workers, len(names), func(i int) (metrics.RunResult, error) {
+		return core.Run(core.DesignMTile, names[i], opt.RC)
+	})
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		model  int
+		budget int
+	}
+	pts := make([]point, 0, len(budgets)*len(names))
 	for _, budget := range budgets {
+		for m := range names {
+			pts = append(pts, point{m, budget})
+		}
+	}
+	ads, err := runner.Map(opt.Workers, len(pts), func(i int) (metrics.RunResult, error) {
+		return core.RunWithBudget(core.DesignAdyna, names[pts[i].model], opt.RC, pts[i].budget)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, budget := range budgets {
 		var sp []float64
-		for _, name := range models.Names() {
-			mt, err := core.Run(core.DesignMTile, name, opt.RC)
-			if err != nil {
-				return nil, err
-			}
-			ad, err := core.RunWithBudget(core.DesignAdyna, name, opt.RC, budget)
-			if err != nil {
-				return nil, err
-			}
-			sp = append(sp, ad.SpeedupOver(mt))
+		for j := range names {
+			sp = append(sp, ads[i*len(names)+j].SpeedupOver(mts[j]))
 		}
 		s.X = append(s.X, float64(budget))
 		s.Y = append(s.Y, metrics.Geomean(sp))

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// The determinism guarantee of the parallel runner, locked in end-to-end:
+// RunMatrix fanned out across many workers must produce byte-identical
+// Figure 9/10/11 tables to the fully sequential path for the same seed.
+// Run with -race this also audits every simulation for shared state.
+func TestRunMatrixParallelEquivalence(t *testing.T) {
+	opt := tiny()
+	opt.RC.Batches = 6
+	opt.RC.Warmup = 4
+
+	opt.Workers = runner.Serial
+	serial, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	par, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range serial.Models {
+		for _, d := range serial.Designs {
+			if serial.Results[name][d] != par.Results[name][d] {
+				t.Fatalf("%s/%s diverged:\nserial   %+v\nparallel %+v",
+					name, d, serial.Results[name][d], par.Results[name][d])
+			}
+		}
+	}
+	if s, p := Figure9(serial).String(), Figure9(par).String(); s != p {
+		t.Fatalf("Figure 9 tables differ:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if s, p := Figure10(serial).String(), Figure10(par).String(); s != p {
+		t.Fatal("Figure 10 tables differ")
+	}
+	if s, p := Figure11(serial).String(), Figure11(par).String(); s != p {
+		t.Fatal("Figure 11 tables differ")
+	}
+}
+
+// The sweeps rewired through the runner must also be worker-count invariant.
+func TestSweepsParallelEquivalence(t *testing.T) {
+	opt := tiny()
+	opt.RC.Batches = 6
+	opt.RC.Warmup = 4
+
+	serial, par := opt, opt
+	serial.Workers = runner.Serial
+	par.Workers = 8
+
+	sd, err := DSESweep(serial, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := DSESweep(par, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.String() != pd.String() {
+		t.Fatalf("DSE sweep diverged:\n%s\nvs\n%s", sd, pd)
+	}
+
+	sf, sc, err := Figure12(serial, []float64{0, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, pc, err := Figure12(par, []float64{0, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.String() != pf.String() {
+		t.Fatal("Figure 12 series diverged")
+	}
+	if sc != pc && !(math.IsNaN(sc) && math.IsNaN(pc)) {
+		t.Fatalf("Figure 12 crossover diverged: %v vs %v", sc, pc)
+	}
+
+	s13, err := Figure13(serial, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p13, err := Figure13(par, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s13.String() != p13.String() {
+		t.Fatal("Figure 13 diverged")
+	}
+
+	sl, err := LatencyTable(serial, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := LatencyTable(par, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.String() != pl.String() {
+		t.Fatal("latency table diverged")
+	}
+}

@@ -62,8 +62,10 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// Percentile returns the p-quantile (0 <= p <= 1) of xs using
-// nearest-rank interpolation. It copies and sorts; xs is untouched.
+// Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
+// interpolation between the two nearest ranks (p <= 0 yields the minimum,
+// p >= 1 the maximum, and a single-element slice always yields that
+// element). It copies and sorts; xs is untouched.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -125,6 +125,35 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileInterpolatesLinearly(t *testing.T) {
+	// The implementation interpolates linearly between ranks (it is NOT
+	// nearest-rank): p=0.5 over {1,2} sits exactly between the elements.
+	if got := Percentile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("p50 of {1,2} = %v, want 1.5", got)
+	}
+	if got := Percentile([]float64{0, 10, 20, 30}, 0.95); math.Abs(got-28.5) > 1e-9 {
+		t.Fatalf("p95 of {0,10,20,30} = %v, want 28.5", got)
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	xs := []float64{7, 3, 9}
+	// Out-of-range p clamps to the extremes.
+	if Percentile(xs, -0.5) != 3 || Percentile(xs, 0) != 3 {
+		t.Fatal("p<=0 must yield the minimum")
+	}
+	if Percentile(xs, 1) != 9 || Percentile(xs, 2.5) != 9 {
+		t.Fatal("p>=1 must yield the maximum")
+	}
+	// A single element is every quantile.
+	one := []float64{42}
+	for _, p := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 3} {
+		if got := Percentile(one, p); got != 42 {
+			t.Fatalf("single-element p=%v = %v", p, got)
+		}
+	}
+}
+
 func TestChartRendering(t *testing.T) {
 	f := &Figure{
 		Title:  "C",

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, Serial, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](4, 0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+}
+
+func TestMapParallelAndSerialAgree(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("r%03d", i*7%13), nil }
+	serial, err := Map(Serial, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(serial, ",") != strings.Join(par, ",") {
+		t.Fatal("parallel result order diverged from serial")
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	// Two jobs that each wait for the other to start can only finish if at
+	// least two workers are in flight simultaneously.
+	var started sync.WaitGroup
+	started.Add(2)
+	_, err := Map(2, 2, func(i int) (struct{}, error) {
+		started.Done()
+		started.Wait()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLo := errors.New("low")
+	errHi := errors.New("high")
+	for _, workers := range []int{Serial, 4} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLo
+			case 35:
+				return 0, errHi
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLo) {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// In-flight jobs may finish, but the pool must not chew through the
+	// whole input after the failure.
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("ran %d jobs after an index-0 failure", n)
+	}
+}
+
+func TestMapRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic was swallowed")
+		}
+	}()
+	_, _ = Map(4, 8, func(i int) (int, error) {
+		if i == 5 {
+			panic("job blew up")
+		}
+		return i, nil
+	})
+	t.Fatal("unreachable")
+}
+
+func TestMapWorkersClampedToN(t *testing.T) {
+	got, err := Map(128, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 3 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}

@@ -143,7 +143,11 @@ func (s *Source) SampleCategorical(weights []float64) int {
 }
 
 // SampleTopK draws k distinct indices from the weight vector, proportional to
-// weight without replacement (the top-k expert gating of MoE models).
+// weight without replacement (the top-k expert gating of MoE models). When
+// fewer than k weights are positive the draw stops once the remaining mass is
+// exhausted, so the result holds only the positive-weight indices — never a
+// duplicate (SampleCategorical over an all-zero vector would otherwise return
+// the last index over and over).
 func (s *Source) SampleTopK(weights []float64, k int) []int {
 	n := len(weights)
 	if k > n {
@@ -152,7 +156,26 @@ func (s *Source) SampleTopK(weights []float64, k int) []int {
 	w := append([]float64(nil), weights...)
 	out := make([]int, 0, k)
 	for len(out) < k {
+		var mass float64
+		for _, x := range w {
+			if x > 0 {
+				mass += x
+			}
+		}
+		if mass <= 0 {
+			break
+		}
 		i := s.SampleCategorical(w)
+		if w[i] <= 0 {
+			// Boundary fallback of SampleCategorical (r landed exactly on
+			// the total mass): pick the first index still carrying weight.
+			for j, x := range w {
+				if x > 0 {
+					i = j
+					break
+				}
+			}
+		}
 		out = append(out, i)
 		w[i] = 0
 	}

@@ -132,6 +132,26 @@ func TestSampleTopKDistinctSorted(t *testing.T) {
 	}
 }
 
+func TestSampleTopKDegenerateWeights(t *testing.T) {
+	s := NewSource(6)
+	// Fewer positive weights than k: the draw must stop at the exhausted
+	// mass instead of padding with duplicates of the last index.
+	for i := 0; i < 100; i++ {
+		got := s.SampleTopK([]float64{0, 0, 1, 0, 0.5, 0}, 4)
+		if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+			t.Fatalf("want the two positive indices [2 4], got %v", got)
+		}
+	}
+	// All-zero mass yields no indices at all.
+	if got := s.SampleTopK([]float64{0, 0, 0}, 2); len(got) != 0 {
+		t.Fatalf("all-zero weights must yield nothing, got %v", got)
+	}
+	// A single positive weight among zeros is returned exactly once.
+	if got := s.SampleTopK([]float64{0, 0, 0, 7}, 3); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("want [3], got %v", got)
+	}
+}
+
 // Property: SampleTopK never returns duplicates and all indices are valid.
 func TestQuickTopKValidity(t *testing.T) {
 	f := func(seed int64, kRaw uint8) bool {

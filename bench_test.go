@@ -25,6 +25,7 @@ func quick() experiments.Options { return experiments.Quick() }
 // BenchmarkTable4AreaPower regenerates Table IV (area and power breakdown of
 // an Adyna tile) and reports the DynNN-support area overhead (paper: ~4.9%).
 func BenchmarkTable4AreaPower(b *testing.B) {
+	b.ReportAllocs()
 	var overhead float64
 	for i := 0; i < b.N; i++ {
 		tb := power.Tile(hw.Default())
@@ -38,6 +39,7 @@ func BenchmarkTable4AreaPower(b *testing.B) {
 // BenchmarkFigure6AllocationTrace regenerates the Figure 6 trace study and
 // reports the mean per-batch imbalance of the three allocation strategies.
 func BenchmarkFigure6AllocationTrace(b *testing.B) {
+	b.ReportAllocs()
 	var static, freq, share float64
 	for i := 0; i < b.N; i++ {
 		fig := experiments.Figure6(1, 60)
@@ -52,6 +54,7 @@ func BenchmarkFigure6AllocationTrace(b *testing.B) {
 // reports the headline speedups (paper: Adyna 1.70x over M-tile, 1.57x over
 // M-tenant, 11.7x over GPU).
 func BenchmarkFigure9Overall(b *testing.B) {
+	b.ReportAllocs()
 	var h experiments.Headlines
 	for i := 0; i < b.N; i++ {
 		m, err := experiments.RunMatrix(quick())
@@ -69,6 +72,7 @@ func BenchmarkFigure9Overall(b *testing.B) {
 // BenchmarkFigure10Utilization regenerates the PE / memory-bandwidth
 // utilization comparison.
 func BenchmarkFigure10Utilization(b *testing.B) {
+	b.ReportAllocs()
 	var peMTile, peAdyna float64
 	for i := 0; i < b.N; i++ {
 		m, err := experiments.RunMatrix(quick())
@@ -90,6 +94,7 @@ func BenchmarkFigure10Utilization(b *testing.B) {
 // BenchmarkFigure11Energy regenerates the energy breakdown and reports
 // Adyna's total energy relative to M-tile (lower is better).
 func BenchmarkFigure11Energy(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		m, err := experiments.RunMatrix(quick())
@@ -115,6 +120,7 @@ func BenchmarkFigure11Energy(b *testing.B) {
 // cmd/experiments -exp fig12) and reports the slowdown at the paper's
 // crossover latency of 0.39 ms.
 func BenchmarkFigure12RealtimeSweep(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		opt := quick()
@@ -138,6 +144,7 @@ func BenchmarkFigure12RealtimeSweep(b *testing.B) {
 // speedups grow 1.29x -> 1.70x from batch 1 to 128) at reduced scale and
 // reports the small-batch and large-batch speedups.
 func BenchmarkFigure13BatchSweep(b *testing.B) {
+	b.ReportAllocs()
 	var lo, hi float64
 	for i := 0; i < b.N; i++ {
 		opt := quick()
@@ -155,6 +162,7 @@ func BenchmarkFigure13BatchSweep(b *testing.B) {
 // BenchmarkReconfigOverhead is the Section V-C ablation: reconfiguration
 // overhead at the paper's 40-batch period must stay small (paper: <2.4%).
 func BenchmarkReconfigOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var overhead float64
 	for i := 0; i < b.N; i++ {
 		r, err := core.RunWithPeriod(core.DesignAdyna, "skipnet", quick().RC, 8)
@@ -187,6 +195,7 @@ func BenchmarkAblationRuntimeFitting(b *testing.B) {
 // BenchmarkAblationKernelBudget sweeps the per-operator kernel budget
 // (Section VII): 1 kernel vs the full 33-kernel budget.
 func BenchmarkAblationKernelBudget(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		rc := quick().RC
@@ -206,6 +215,7 @@ func BenchmarkAblationKernelBudget(b *testing.B) {
 // BenchmarkAblationResamplePeriod sweeps the reconfiguration period
 // (Section V-C): frequent vs infrequent re-scheduling on the drifting MoE.
 func BenchmarkAblationResamplePeriod(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		rc := quick().RC
@@ -225,6 +235,7 @@ func BenchmarkAblationResamplePeriod(b *testing.B) {
 
 func benchPolicyAblation(b *testing.B, model, metric string, disable func(*sched.Policy)) {
 	b.Helper()
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		rc := quick().RC
@@ -247,6 +258,7 @@ func BenchmarkAllModelsAdyna(b *testing.B) {
 	for _, name := range models.Names() {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Run(core.DesignAdyna, name, quick().RC); err != nil {
 					b.Fatal(err)

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,8 +39,38 @@ func main() {
 		seed     = flag.Int64("seed", 1, "trace seed")
 		parallel = flag.Bool("parallel", true, "fan independent simulations out across all CPUs (results are identical either way)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU; implies -parallel)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	opt := experiments.Default()
 	if *quick {
@@ -58,6 +90,10 @@ func main() {
 
 	if err := run(strings.ToLower(*exp), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		// Flush the profiles before the non-deferred exit.
+		if *cpuprof != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,46 @@
+package accel
+
+// End-to-end machine benchmark tracked in BENCH_hotpath.json: one iteration
+// simulates a full batch window of SkipNet under the Adyna policy — the
+// workload `cmd/experiments -exp fig9` runs thirty times per model. This is
+// the number the hot-path issue gates on: allocs/op and ns/op must both drop
+// against the seed engine.
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// BenchmarkMachineRun simulates 8 batches of 32 samples through a freshly
+// scheduled SkipNet machine per iteration.
+func BenchmarkMachineRun(b *testing.B) {
+	b.ReportAllocs()
+	cfg := hw.Default()
+	w, err := models.ByName("skipnet", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.Schedule(cfg, w.Graph, sched.Adyna(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := workload.NewSource(7)
+	trace := w.GenTrace(src, 8, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg, w.Graph, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadPlan(plan); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -79,6 +79,20 @@ type Machine struct {
 	// serializes a pipeline stage across in-flight batches.
 	entityTok map[graph.OpID]*sim.Store
 
+	// computeOps and niNames are derived from the graph once at construction:
+	// the per-batch statistics loop and every entity spawn would otherwise
+	// re-derive them (a slice per batch, a string concatenation per job).
+	computeOps []graph.OpID
+	niNames    []string
+
+	// Per-job scratch maps, reused across prepareJob calls (one job is
+	// prepared at a time by the driver process, so a single set suffices).
+	// They only live for the duration of one prepareJob call; everything that
+	// outlasts it is reachable from the job itself.
+	entsBuf   map[graph.OpID]*jobEntity
+	optIdxBuf map[graph.OpID]int
+	groupsBuf map[graph.OpID]*sim.Store
+
 	stats Stats
 }
 
@@ -88,15 +102,24 @@ func New(cfg hw.Config, g *graph.Graph, opts Options) (*Machine, error) {
 		return nil, err
 	}
 	env := sim.NewEnv()
+	niNames := make([]string, len(g.Ops))
+	for i, op := range g.Ops {
+		niNames[i] = op.Name + "/ni"
+	}
 	return &Machine{
-		cfg:       cfg,
-		g:         g,
-		opts:      opts,
-		env:       env,
-		hbm:       mem.New(env, cfg),
-		noc:       noc.New(env, cfg),
-		prof:      profiler.New(g),
-		entityTok: map[graph.OpID]*sim.Store{},
+		cfg:        cfg,
+		g:          g,
+		opts:       opts,
+		env:        env,
+		hbm:        mem.New(env, cfg),
+		noc:        noc.New(env, cfg),
+		prof:       profiler.New(g),
+		entityTok:  map[graph.OpID]*sim.Store{},
+		computeOps: g.ComputeOps(),
+		niNames:    niNames,
+		entsBuf:    map[graph.OpID]*jobEntity{},
+		optIdxBuf:  map[graph.OpID]int{},
+		groupsBuf:  map[graph.OpID]*sim.Store{},
 	}, nil
 }
 
@@ -141,7 +164,7 @@ func (m *Machine) LoadPlan(p *sched.Plan) error {
 	}
 	m.plan = p
 	m.dags = dags
-	m.entityTok = map[graph.OpID]*sim.Store{}
+	clear(m.entityTok)
 	return nil
 }
 
@@ -209,8 +232,11 @@ type BatchLatency struct {
 func (l BatchLatency) Cycles() int64 { return int64(l.Done - l.Start) }
 
 // Latencies returns the per-batch completion records accumulated so far.
+// The copy is pre-sized to exactly the record count.
 func (m *Machine) Latencies() []BatchLatency {
-	return append([]BatchLatency(nil), m.batchDone...)
+	out := make([]BatchLatency, len(m.batchDone))
+	copy(out, m.batchDone)
+	return out
 }
 
 // job is one (batch, segment) unit of pipelined execution.
@@ -256,7 +282,7 @@ func (m *Machine) Run(batches []workload.Batch) error {
 		}
 		unitsPer[i] = units
 		m.stats.Batches++
-		for _, id := range m.g.ComputeOps() {
+		for _, id := range m.computeOps {
 			op := m.g.Op(id)
 			m.stats.UsefulMACs += op.MACsPerUnit * int64(units[id])
 		}
@@ -276,7 +302,7 @@ func (m *Machine) Run(batches []workload.Batch) error {
 			}
 			notBefore := p.Now()
 			if si > 0 {
-				m.entityTok = map[graph.OpID]*sim.Store{}
+				clear(m.entityTok)
 			}
 			for i := range batches {
 				j, err := m.prepareJob(seg, unitsPer[i])
@@ -319,26 +345,32 @@ func (m *Machine) Run(batches []workload.Batch) error {
 	return runErr
 }
 
+// effUnits is the effective dyn value an entity pays for: without runtime
+// fitting the hardware pays the padded worst case in both compute and data
+// movement.
+func (m *Machine) effUnits(units map[graph.OpID]int, id graph.OpID) int {
+	if m.plan.Policy.RuntimeFitting {
+		return units[id]
+	}
+	return m.g.Op(id).MaxUnits
+}
+
 // prepareJob computes per-entity dyn values, tile-sharing option choices,
-// cost evaluations, and the edge/byte structure for one job.
+// cost evaluations, and the edge/byte structure for one job. It runs once
+// per (batch, segment) on the driver process, so its allocations are hot:
+// entities and edges are laid out in two contiguous per-job arrays, and the
+// lookup tables it needs only transiently come from the machine's reusable
+// scratch maps.
 func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job, error) {
 	d := m.dags[seg.Index]
-	pol := m.plan.Policy
 	j := &job{seg: seg, done: sim.NewSignal(m.env)}
-	ents := map[graph.OpID]*jobEntity{}
-
-	// Effective units: without runtime fitting the hardware pays the padded
-	// worst case in both compute and data movement.
-	eff := func(id graph.OpID) int {
-		if pol.RuntimeFitting {
-			return units[id]
-		}
-		return m.g.Op(id).MaxUnits
-	}
+	ents := m.entsBuf
+	clear(ents)
 
 	// Tile-sharing option choice per pair (Section V-B): the pair leader
 	// picks the ratio minimizing the slower partner.
-	optIdx := map[graph.OpID]int{}
+	optIdx := m.optIdxBuf
+	clear(optIdx)
 	for _, lead := range d.leads {
 		op := seg.Plans[lead]
 		if op.Partner == graph.None || !op.PairLeader {
@@ -347,11 +379,11 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 		partner := seg.Plans[op.Partner]
 		best, bestScore := 0, int64(-1)
 		for k := range op.Options {
-			ea, err := m.plan.EvaluateEntity(m.cfg, m.g, op, op.Options[k], eff(lead))
+			ea, err := m.plan.EvaluateEntity(m.cfg, m.g, op, op.Options[k], m.effUnits(units, lead))
 			if err != nil {
 				return nil, err
 			}
-			eb, err := m.plan.EvaluateEntity(m.cfg, m.g, partner, partner.Options[k], eff(op.Partner))
+			eb, err := m.plan.EvaluateEntity(m.cfg, m.g, partner, partner.Options[k], m.effUnits(units, op.Partner))
 			if err != nil {
 				return nil, err
 			}
@@ -367,20 +399,26 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 		optIdx[op.Partner] = best
 	}
 
-	groups := map[graph.OpID]*sim.Store{}
-	for _, lead := range d.leads {
+	groups := m.groupsBuf
+	clear(groups)
+	// All of the job's entities live in one contiguous array: one allocation
+	// instead of one per entity, and better locality for the spawn loop.
+	entArr := make([]jobEntity, len(d.leads))
+	j.ents = make([]*jobEntity, 0, len(d.leads))
+	for i, lead := range d.leads {
 		op := seg.Plans[lead]
 		k := optIdx[lead] // 0 default
 		if k >= len(op.Options) {
 			k = 0
 		}
 		opt := op.Options[k]
-		v := eff(lead)
+		v := m.effUnits(units, lead)
 		ev, err := m.plan.EvaluateEntity(m.cfg, m.g, op, opt, v)
 		if err != nil {
 			return nil, err
 		}
-		je := &jobEntity{
+		je := &entArr[i]
+		*je = jobEntity{
 			lead:    lead,
 			plan:    op,
 			opt:     opt,
@@ -406,11 +444,22 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 	// network-interface sender.
 	j.remaining = 2 * len(j.ents)
 
-	// Wire the edges with their per-job payload sizes.
+	// Wire the edges with their per-job payload sizes, again in one
+	// contiguous array (the per-entity input/output slices hold pointers
+	// into it, pre-sized from the segment DAG's degree counts).
+	nEdges := 0
+	for _, lead := range d.leads {
+		nEdges += len(d.prods[lead])
+	}
+	edgeArr := make([]jobEdge, 0, nEdges)
 	for _, lead := range d.leads {
 		consumer := ents[lead]
 		cOp := m.g.Op(lead)
-		for _, pe := range d.prods[lead] {
+		prods := d.prods[lead]
+		if len(prods) > 0 && consumer.inputs == nil {
+			consumer.inputs = make([]*jobEdge, 0, len(prods))
+		}
+		for _, pe := range prods {
 			producer := ents[pe.from]
 			if producer == nil {
 				continue
@@ -421,17 +470,21 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 				bytes = 64 // routing mask metadata packet
 			case pe.viaMerge:
 				// Each branch tail sends its own units' worth.
-				bytes = cOp.InBytesPerUnit * int64(eff(pe.from))
+				bytes = cOp.InBytesPerUnit * int64(m.effUnits(units, pe.from))
 			default:
-				bytes = cOp.InBytesPerUnit * int64(eff(lead))
+				bytes = cOp.InBytesPerUnit * int64(m.effUnits(units, lead))
 			}
-			e := &jobEdge{
+			edgeArr = append(edgeArr, jobEdge{
 				bytes: bytes,
 				store: sim.NewStore(m.env, chunksPerJob/2),
 				from:  pe.from,
 				to:    lead,
-			}
+			})
+			e := &edgeArr[len(edgeArr)-1]
 			consumer.inputs = append(consumer.inputs, e)
+			if producer.outputs == nil {
+				producer.outputs = make([]*jobEdge, 0, len(d.cons[pe.from]))
+			}
 			producer.outputs = append(producer.outputs, e)
 		}
 	}
@@ -465,6 +518,16 @@ func (m *Machine) spawnJob(j *job) {
 	}
 }
 
+// chunkOf splits total across the job's chunks, giving the last chunk the
+// remainder.
+func chunkOf(total int64, c int) int64 {
+	share := total / chunksPerJob
+	if c == chunksPerJob-1 {
+		return total - share*int64(chunksPerJob-1)
+	}
+	return share
+}
+
 // runEntity executes one entity's chunks for one job.
 func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 	// Segment ordering and weight availability (stage exclusivity across
@@ -489,20 +552,13 @@ func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 	}
 	src := noc.Centroid(je.plan.Region)
 
-	chunkOf := func(total int64, c int) int64 {
-		share := total / chunksPerJob
-		if c == chunksPerJob-1 {
-			return total - share*int64(chunksPerJob-1)
-		}
-		return share
-	}
 	// The network interface runs as its own engine (Figure 7): it forwards
 	// finished chunks — probe/ack handshake, then the payload over the NoC —
 	// while the PE array already computes the next chunk. The entity's
 	// pipeline-stage token is released when compute finishes; delivery
 	// completion is tracked by the job.
 	sendQ := sim.NewStore(m.env, 0)
-	m.env.Go(m.g.Op(je.lead).Name+"/ni", func(sp *sim.Proc) {
+	m.env.Go(m.niNames[je.lead], func(sp *sim.Proc) {
 		defer func() {
 			j.remaining--
 			if j.remaining == 0 {

@@ -1,0 +1,109 @@
+package costmodel
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hw"
+)
+
+// Cache memoizes Evaluate and Optimize results for one fixed hardware
+// configuration and one operator graph. Both functions are pure: their result
+// depends only on the hardware config, the operator's work model, and the
+// scalar arguments — so within one (cfg, graph) scope a compact key of
+// (operator ID, blocking, sizes, policy bit) identifies the result exactly.
+//
+// The simulator re-evaluates identical keys constantly: every batch of a run
+// window re-costs each entity at its dyn value through Plan.EvaluateEntity,
+// tile-sharing pairs re-score the same option triples, and Optimize's
+// blocking search repeats whenever a kernel is compiled for a (value, tiles)
+// pair already seen. Memoization turns all of that into map hits.
+//
+// A Cache is deliberately not safe for concurrent use: the parallel
+// experiment runner gives every simulation its own plan (and therefore its
+// own cache), which keeps the hot path lock-free and the race detector
+// quiet. Scoping the cache to one graph is what makes keying by graph.OpID
+// sound — two graphs may reuse IDs for different operators.
+type Cache struct {
+	cfg  hw.Config
+	eval map[evalKey]evalResult
+	opt  map[optKey]optResult
+
+	hits, misses int64
+}
+
+// evalKey identifies one Evaluate invocation within a (cfg, graph) scope.
+type evalKey struct {
+	op       graph.OpID
+	blk      Blocking
+	compiled int
+	actual   int
+	tiles    int
+	fitting  bool
+}
+
+type evalResult struct {
+	ev  Eval
+	err error
+}
+
+// optKey identifies one Optimize invocation within a (cfg, graph) scope.
+type optKey struct {
+	op       graph.OpID
+	compiled int
+	tiles    int
+}
+
+type optResult struct {
+	blk Blocking
+	ev  Eval
+	err error
+}
+
+// NewCache returns an empty cache bound to cfg.
+func NewCache(cfg hw.Config) *Cache {
+	return &Cache{
+		cfg:  cfg,
+		eval: map[evalKey]evalResult{},
+		opt:  map[optKey]optResult{},
+	}
+}
+
+// Config returns the hardware configuration the cache is bound to. Callers
+// holding a cache across configuration changes must discard it when the
+// config differs — a stale cfg would silently return costs for the wrong
+// hardware.
+func (c *Cache) Config() hw.Config { return c.cfg }
+
+// Evaluate is the memoized form of the package-level Evaluate. Errors are
+// memoized too: they are as deterministic as the values.
+func (c *Cache) Evaluate(op *graph.Op, blk Blocking, compiledUnits, actualUnits, tiles int, fitting bool) (Eval, error) {
+	k := evalKey{op: op.ID, blk: blk, compiled: compiledUnits, actual: actualUnits, tiles: tiles, fitting: fitting}
+	if r, ok := c.eval[k]; ok {
+		c.hits++
+		return r.ev, r.err
+	}
+	c.misses++
+	ev, err := Evaluate(c.cfg, op, blk, compiledUnits, actualUnits, tiles, fitting)
+	c.eval[k] = evalResult{ev: ev, err: err}
+	return ev, err
+}
+
+// Optimize is the memoized form of the package-level Optimize (the blocking
+// search of kernel generation).
+func (c *Cache) Optimize(op *graph.Op, compiledUnits, tiles int) (Blocking, Eval, error) {
+	k := optKey{op: op.ID, compiled: compiledUnits, tiles: tiles}
+	if r, ok := c.opt[k]; ok {
+		c.hits++
+		return r.blk, r.ev, r.err
+	}
+	c.misses++
+	blk, ev, err := Optimize(c.cfg, op, compiledUnits, tiles)
+	c.opt[k] = optResult{blk: blk, ev: ev, err: err}
+	return blk, ev, err
+}
+
+// Stats reports cache hits and misses so far (tests assert the cache
+// actually engages on the hot path).
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Len reports the number of memoized entries across both tables.
+func (c *Cache) Len() int { return len(c.eval) + len(c.opt) }

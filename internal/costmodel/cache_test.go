@@ -1,0 +1,131 @@
+package costmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+)
+
+// randOp builds a random operator shape. Matrix kinds get a consistent
+// iteration space (MACsPerUnit equals the Space product, as Build would
+// enforce); vector kinds leave Space zero. Each call gets a distinct ID — the
+// cache keys on it, and two ops may not share an ID within one cache scope.
+func randOp(r *rand.Rand, id int) *graph.Op {
+	kinds := []graph.Kind{
+		graph.KindConv2D, graph.KindMatMul, graph.KindAttention, graph.KindGate,
+		graph.KindElementwise, graph.KindPool, graph.KindLayerNorm, graph.KindSoftmax,
+	}
+	op := &graph.Op{
+		ID:       graph.OpID(id),
+		Name:     fmt.Sprintf("rand%d", id),
+		Kind:     kinds[r.Intn(len(kinds))],
+		MaxUnits: 1 + r.Intn(256),
+	}
+	switch op.Kind {
+	case graph.KindConv2D, graph.KindMatMul, graph.KindAttention, graph.KindGate:
+		c, m := 1+r.Intn(512), 1+r.Intn(512)
+		h, w := 1+r.Intn(28), 1+r.Intn(28)
+		rr, s := 1, 1
+		if op.Kind == graph.KindConv2D {
+			rr = 1 + 2*r.Intn(3) // 1, 3, 5
+			s = rr
+		}
+		op.Space = [6]int{c, m, h, w, rr, s}
+		op.MACsPerUnit = int64(c) * int64(m) * int64(h) * int64(w) * int64(rr) * int64(s)
+	default:
+		op.MACsPerUnit = int64(1 + r.Intn(1<<16))
+	}
+	op.InBytesPerUnit = int64(1 + r.Intn(1<<16))
+	op.OutBytesPerUnit = int64(1 + r.Intn(1<<16))
+	op.WeightBytes = int64(r.Intn(1 << 20))
+	return op
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestCacheMatchesUncached is the memoization soundness property: over
+// randomized operator shapes and argument tuples, the cached Evaluate and
+// Optimize must return exactly what the package-level functions return —
+// values and errors alike — on both the miss path and the hit path.
+func TestCacheMatchesUncached(t *testing.T) {
+	cfg := hw.Default()
+	r := rand.New(rand.NewSource(11))
+	c := NewCache(cfg)
+
+	for i := 0; i < 200; i++ {
+		op := randOp(r, i)
+		tiles := 1 + r.Intn(16)
+		compiled := 1 + r.Intn(op.MaxUnits)
+
+		blk, oev, oerr := Optimize(cfg, op, compiled, tiles)
+		for trial := 0; trial < 2; trial++ { // miss, then hit
+			cblk, cev, cerr := c.Optimize(op, compiled, tiles)
+			if cblk != blk || cev != oev || errString(cerr) != errString(oerr) {
+				t.Fatalf("op %s trial %d: cached Optimize diverged:\n(%+v, %+v, %v)\nwant (%+v, %+v, %v)",
+					op, trial, cblk, cev, cerr, blk, oev, oerr)
+			}
+		}
+		if oerr != nil {
+			continue
+		}
+
+		for j := 0; j < 4; j++ {
+			actual := r.Intn(compiled + 2) // may exceed compiled: error path
+			fitting := r.Intn(2) == 0
+			ev, err := Evaluate(cfg, op, blk, compiled, actual, tiles, fitting)
+			for trial := 0; trial < 2; trial++ { // miss, then hit
+				gev, gerr := c.Evaluate(op, blk, compiled, actual, tiles, fitting)
+				if gev != ev || errString(gerr) != errString(err) {
+					t.Fatalf("op %s actual=%d fitting=%v trial %d: cached Evaluate diverged:\n(%+v, %v)\nwant (%+v, %v)",
+						op, actual, fitting, trial, gev, gerr, ev, err)
+				}
+			}
+		}
+	}
+
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("property test exercised hits=%d misses=%d; want both paths", hits, misses)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache retained no entries")
+	}
+}
+
+// TestCacheRejectsNothingAcrossConfigs pins the config-binding contract: the
+// same key evaluated under a different hardware config must come from a
+// different cache and may differ.
+func TestCacheConfigBinding(t *testing.T) {
+	op := convOp(t, 128)
+	small := hw.Default()
+	big := hw.Default()
+	big.PERows *= 2
+
+	cs, cb := NewCache(small), NewCache(big)
+	if cs.Config() == cb.Config() {
+		t.Fatal("configs should differ")
+	}
+	blk, _, err := Optimize(small, op, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := cs.Evaluate(op, blk, 128, 64, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(small, op, blk, 128, 64, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs != want {
+		t.Fatalf("cached eval %+v, want %+v", evs, want)
+	}
+}

@@ -34,7 +34,7 @@ func (g *Graph) AssignUnits(batchUnits int, rt BatchRouting) (map[OpID]int, erro
 		return nil, fmt.Errorf("graph: negative batch units %d", batchUnits)
 	}
 	units := make(map[OpID]int, len(g.Ops))
-	for _, id := range g.Topo() {
+	for _, id := range g.topoOrder() {
 		op := g.Op(id)
 		switch op.Kind {
 		case KindInput:

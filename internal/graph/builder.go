@@ -528,9 +528,11 @@ func (g *Graph) validate() error {
 	if len(g.outputs) == 0 {
 		return fmt.Errorf("graph %q: no output operator", g.Name)
 	}
-	if order := g.Topo(); len(order) != len(g.Ops) {
+	order := g.computeTopo()
+	if len(order) != len(g.Ops) {
 		return fmt.Errorf("graph %q: cycle detected", g.Name)
 	}
+	g.topo = order
 	// Every switch must have each branch connected, and every non-sink
 	// branch must eventually be closed by exactly one merge.
 	merges := map[OpID]int{}

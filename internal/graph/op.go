@@ -192,6 +192,11 @@ type Graph struct {
 
 	inputs  []OpID
 	outputs []OpID
+	// topo is the cached topological order, computed once when the graph is
+	// finalized (Build / DecodeGraph both validate, which fills it). Cached
+	// because AssignUnits — called once per batch on the simulation hot path
+	// — walks the graph in this order.
+	topo []OpID
 }
 
 // Op returns the operator with the given ID.
@@ -247,8 +252,26 @@ func (g *Graph) MaxMACsPerBatch() int64 {
 }
 
 // Topo returns the operator IDs in a topological order. Build guarantees the
-// graph is acyclic, so Topo always succeeds on built graphs.
+// graph is acyclic, so Topo always succeeds on built graphs. Finalized graphs
+// return a copy of the cached order; callers may modify the result freely.
 func (g *Graph) Topo() []OpID {
+	if g.topo != nil {
+		return append([]OpID(nil), g.topo...)
+	}
+	return g.computeTopo()
+}
+
+// topoOrder returns the topological order without copying. Internal hot-path
+// use only: callers must not modify the result. Unfinalized graphs (no
+// cached order) pay a fresh computation.
+func (g *Graph) topoOrder() []OpID {
+	if g.topo != nil {
+		return g.topo
+	}
+	return g.computeTopo()
+}
+
+func (g *Graph) computeTopo() []OpID {
 	indeg := make([]int, len(g.Ops))
 	for _, op := range g.Ops {
 		for _, out := range op.Outputs {

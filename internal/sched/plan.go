@@ -15,6 +15,34 @@ import (
 type Plan struct {
 	Policy   Policy
 	Segments []*Segment
+
+	// cache memoizes cost-model evaluations and blocking searches for this
+	// plan's (config, graph) scope. The simulator re-costs every entity for
+	// every batch through EvaluateEntity; within one plan those calls repeat
+	// a small set of keys. The cache is plan-scoped on purpose: every
+	// simulation of the parallel experiment runner schedules its own plan,
+	// so the memo table is only ever touched from one goroutine and needs no
+	// lock. Lazily created (deserialized plans start without one).
+	cache *costmodel.Cache
+}
+
+// evalCache returns the plan's memo table for cfg, creating it on first use
+// and replacing it if the caller switches hardware configurations (a stale
+// config would return costs for the wrong machine).
+func (p *Plan) evalCache(cfg hw.Config) *costmodel.Cache {
+	if p.cache == nil || p.cache.Config() != cfg {
+		p.cache = costmodel.NewCache(cfg)
+	}
+	return p.cache
+}
+
+// CacheStats reports the plan cache's hits and misses (zero before the first
+// EvaluateEntity call). Exposed for tests and profiling.
+func (p *Plan) CacheStats() (hits, misses int64) {
+	if p.cache == nil {
+		return 0, 0
+	}
+	return p.cache.Stats()
 }
 
 // Segment is one resident group of consecutive operators (Section II-B).
@@ -87,6 +115,29 @@ func (o *AllocOption) Kernel(cfg hw.Config, op *graph.Op, v int) (*kernels.Kerne
 		return k, nil
 	}
 	k, err := kernels.Generate(cfg, op, v, o.Tiles)
+	if err != nil {
+		return nil, err
+	}
+	if o.dense == nil {
+		o.dense = map[int]*kernels.Kernel{}
+	}
+	o.dense[v] = k
+	return k, nil
+}
+
+// kernel is Kernel on the plan's memoized hot path: on-demand compilations
+// under the full-kernel policy reuse the cache's blocking searches.
+func (o *AllocOption) kernel(c *costmodel.Cache, op *graph.Op, v int) (*kernels.Kernel, error) {
+	if o.set != nil {
+		return o.set.Select(v)
+	}
+	if v < 1 {
+		v = 1
+	}
+	if k, ok := o.dense[v]; ok {
+		return k, nil
+	}
+	k, err := kernels.Compile(c, op, v, o.Tiles)
 	if err != nil {
 		return nil, err
 	}
@@ -198,28 +249,31 @@ func (p *Plan) Validate(cfg hw.Config, g *graph.Graph) error {
 
 // EvaluateEntity predicts the cost of executing the entity's lead operator
 // plus its fused vector operators at the actual dyn value v on option opt.
+// Results are memoized in the plan's cache, so per-batch re-evaluations of
+// the same (entity, option, dyn value) are map lookups.
 func (p *Plan) EvaluateEntity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *AllocOption, v int) (costmodel.Eval, error) {
+	c := p.evalCache(cfg)
 	lead := g.Op(op.Lead)
 	var total costmodel.Eval
 	if lead.Kind.IsCompute() && lead.Space[0] > 0 {
-		k, err := opt.Kernel(cfg, lead, v)
+		k, err := opt.kernel(c, lead, v)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
-		ev, err := costmodel.Evaluate(cfg, lead, k.Blocking, k.CompiledUnits, v, opt.Tiles, p.Policy.RuntimeFitting)
+		ev, err := c.Evaluate(lead, k.Blocking, k.CompiledUnits, v, opt.Tiles, p.Policy.RuntimeFitting)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
 		total = ev
 	} else if lead.Kind.IsCompute() {
-		ev, err := vectorEval(cfg, p.Policy, lead, opt.Tiles, v)
+		ev, err := vectorEval(c, p.Policy, lead, opt.Tiles, v)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
 		total = ev
 	}
 	for _, fid := range op.Fused {
-		ev, err := vectorEval(cfg, p.Policy, g.Op(fid), opt.Tiles, v)
+		ev, err := vectorEval(c, p.Policy, g.Op(fid), opt.Tiles, v)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
@@ -234,7 +288,7 @@ func (p *Plan) EvaluateEntity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *Al
 // vectorEval costs a vector operator with the trivial unit blocking (vector
 // ops have no compiled shape to mismatch; without runtime fitting they still
 // pay the worst case like everything else on the static baseline).
-func vectorEval(cfg hw.Config, pol Policy, op *graph.Op, tiles, v int) (costmodel.Eval, error) {
+func vectorEval(c *costmodel.Cache, pol Policy, op *graph.Op, tiles, v int) (costmodel.Eval, error) {
 	blk := costmodel.Blocking{SplitN: 1, SplitM: 1, NBlk: 1, WeightResident: true}
-	return costmodel.Evaluate(cfg, op, blk, op.MaxUnits, v, tiles, pol.RuntimeFitting)
+	return c.Evaluate(op, blk, op.MaxUnits, v, tiles, pol.RuntimeFitting)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/kernels"
@@ -35,9 +36,13 @@ func Schedule(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profiler
 		return nil, err
 	}
 	segs := segment(cfg, g, ents, order)
-	plan := &Plan{Policy: pol}
+	// One memo table spans scheduling and the plan's lifetime on the
+	// machine: blocking searches done while compiling kernel stores are
+	// reused by the simulator's per-batch evaluations.
+	cache := costmodel.NewCache(cfg)
+	plan := &Plan{Policy: pol, cache: cache}
 	for i, se := range segs {
-		s, err := planSegment(cfg, g, pol, prof, i, se)
+		s, err := planSegment(cfg, g, pol, prof, cache, i, se)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +152,7 @@ func entityBytes(g *graph.Graph, e *entity) float64 {
 
 // planSegment allocates tiles, applies grouping and sharing, and compiles
 // kernel stores for one segment.
-func planSegment(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profiler, index int, leads []graph.OpID) (*Segment, error) {
+func planSegment(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profiler, cache *costmodel.Cache, index int, leads []graph.OpID) (*Segment, error) {
 	ents, order, err := buildEntities(g)
 	if err != nil {
 		return nil, err
@@ -230,7 +235,7 @@ func planSegment(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profi
 
 	// Compile kernel stores for every option of every entity.
 	for _, lead := range leads {
-		if err := compileEntity(cfg, g, pol, seg.Plans[lead]); err != nil {
+		if err := compileEntity(cfg, g, pol, cache, seg.Plans[lead]); err != nil {
 			return nil, err
 		}
 	}
@@ -550,7 +555,7 @@ func optionTiles(ts ...int) []*AllocOption {
 }
 
 // compileEntity fills the entity's options with kernel stores.
-func compileEntity(cfg hw.Config, g *graph.Graph, pol Policy, p *OpPlan) error {
+func compileEntity(cfg hw.Config, g *graph.Graph, pol Policy, cache *costmodel.Cache, p *OpPlan) error {
 	if len(p.Options) == 0 {
 		p.Options = optionTiles(p.BaseTiles)
 	}
@@ -563,7 +568,7 @@ func compileEntity(cfg hw.Config, g *graph.Graph, pol Policy, p *OpPlan) error {
 	}
 	p.Values = kernelValues(cfg, pol, lead, len(p.Options), p.Partner != graph.None)
 	for _, o := range p.Options {
-		set, err := kernels.GenerateSet(cfg, lead, p.Values, o.Tiles)
+		set, err := kernels.CompileSet(cache, lead, p.Values, o.Tiles)
 		if err != nil {
 			return fmt.Errorf("sched: entity %s: %w", lead.Name, err)
 		}

@@ -1,0 +1,51 @@
+package sim
+
+// Hot-path benchmarks for the event engine. BenchmarkSimEngine is the
+// headline number tracked in BENCH_hotpath.json: one iteration schedules and
+// drains a mixed event/process/store workload shaped like what one
+// accel.Machine run produces (timer events, process switches, store
+// handoffs). Allocation counts matter as much as ns/op here — the engine
+// runs millions of events per simulation.
+
+import "testing"
+
+// BenchmarkSimEngine drains 1000 plain events plus two producer/consumer
+// process pairs through one environment per iteration.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := NewEnv()
+		for j := 0; j < 1000; j++ {
+			env.Schedule(Time(j%97), func() {})
+		}
+		for k := 0; k < 2; k++ {
+			st := NewStore(env, 4)
+			env.Go("producer", func(p *Proc) {
+				for j := 0; j < 100; j++ {
+					p.Wait(1)
+					st.Put(p, j)
+				}
+			})
+			env.Go("consumer", func(p *Proc) {
+				for j := 0; j < 100; j++ {
+					st.Get(p)
+					p.Wait(2)
+				}
+			})
+		}
+		env.Run()
+	}
+}
+
+// BenchmarkSimSchedule measures the pure Schedule/step cycle with no
+// processes: the event queue in isolation.
+func BenchmarkSimSchedule(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Schedule(Time(i%13), fn)
+		env.step()
+	}
+}

@@ -12,6 +12,10 @@ type Proc struct {
 	resume chan struct{} // engine -> process: continue
 	yield  chan struct{} // process -> engine: parked or done
 	dead   bool
+	// runFn is the method value p.run, materialized once at creation: every
+	// Wait and every primitive wake-up schedules it, and building a fresh
+	// method value per wake would allocate a closure each time.
+	runFn func()
 }
 
 // Go starts fn as a new simulation process. The process begins at the current
@@ -24,6 +28,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.runFn = p.run
 	e.nprocs++
 	go func() {
 		<-p.resume
@@ -33,7 +38,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		p.yield <- struct{}{}
 	}()
 	// Kick the process from an event so that it runs under engine control.
-	e.Schedule(0, p.run)
+	e.Schedule(0, p.runFn)
 	return p
 }
 
@@ -76,7 +81,7 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %s waits negative %d", p.name, d))
 	}
-	p.env.Schedule(d, p.run)
+	p.env.Schedule(d, p.runFn)
 	p.park()
 }
 
@@ -105,7 +110,7 @@ func (s *Signal) Fire() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
-		s.env.Schedule(0, p.run)
+		s.env.Schedule(0, p.runFn)
 	}
 }
 
@@ -133,9 +138,14 @@ type Store struct {
 }
 
 // NewStore returns a store holding at most capacity items. A capacity of 0
-// or less means unbounded.
+// or less means unbounded. Bounded stores pre-size their buffer so Put/TryPut
+// never reallocate.
 func NewStore(env *Env, capacity int) *Store {
-	return &Store{env: env, cap: capacity}
+	s := &Store{env: env, cap: capacity}
+	if capacity > 0 {
+		s.items = make([]interface{}, 0, capacity)
+	}
+	return s
 }
 
 // Len reports the number of buffered items.
@@ -183,7 +193,7 @@ func (s *Store) wakeOneGetter() {
 	p := s.getters[0]
 	copy(s.getters, s.getters[1:])
 	s.getters = s.getters[:len(s.getters)-1]
-	s.env.Schedule(0, p.run)
+	s.env.Schedule(0, p.runFn)
 }
 
 func (s *Store) wakeOnePutter() {
@@ -193,7 +203,7 @@ func (s *Store) wakeOnePutter() {
 	p := s.putters[0]
 	copy(s.putters, s.putters[1:])
 	s.putters = s.putters[:len(s.putters)-1]
-	s.env.Schedule(0, p.run)
+	s.env.Schedule(0, p.runFn)
 }
 
 // Server models a bandwidth-limited FIFO service center (an HBM stack, a NoC

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -23,37 +22,87 @@ type Time int64
 // Forever is a time later than any meaningful simulation horizon.
 const Forever Time = 1<<62 - 1
 
+// event is one pending callback. Events are stored by value inside the
+// queue's backing array: pushing an event writes into a recycled slot (or
+// grows the array, amortized), and popping one releases its slot back in
+// place — the array doubles as the event free-list, so the steady-state
+// Schedule/step cycle performs no heap allocation at all.
 type event struct {
 	at  Time
 	seq int64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict queue order: primarily by timestamp, with the
+// scheduling sequence number breaking ties so same-time events fire FIFO.
+// This pair is the engine's determinism contract.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// eventQueue is a value-typed binary min-heap ordered by (at, seq). It
+// replaces the previous container/heap implementation: no interface boxing,
+// no per-event pointer allocation, and the sift loops inline.
+type eventQueue []event
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	q.up(len(*q) - 1)
+}
+
+// pop removes and returns the minimum event. The caller must have checked
+// the queue is non-empty.
+func (q *eventQueue) pop() event {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure so the free slot holds no reference
+	*q = h[:n]
+	if n > 0 {
+		q.down(0)
+	}
 	return ev
+}
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && q[r].before(&q[l]) {
+			least = r
+		}
+		if !q[least].before(&q[i]) {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
 }
 
 // Env is a simulation environment: a clock plus a pending-event queue.
 // The zero value is ready to use.
 type Env struct {
 	now    Time
-	queue  eventHeap
+	queue  eventQueue
 	seq    int64
 	nprocs int                // live processes, for deadlock detection
 	parked map[*Proc]struct{} // processes blocked in a primitive
@@ -80,7 +129,7 @@ func (e *Env) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // step runs the earliest pending event. It reports false when the queue is
@@ -89,7 +138,7 @@ func (e *Env) step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	ev.fn()
 	return true

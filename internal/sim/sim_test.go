@@ -347,6 +347,58 @@ func TestManyProcessesStress(t *testing.T) {
 	_ = total
 }
 
+// The pooled value-heap engine must fire events in exactly the order the
+// seed container/heap engine did: sorted by (at, seq). The reference model
+// here is a stable sort of the schedule calls — precisely that contract —
+// checked over randomized workloads that interleave scheduling and draining
+// (events scheduled from inside events, equal timestamps, bursts).
+func TestEngineMatchesReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		env := NewEnv()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		var fired []stamp
+		var want []stamp
+		seq := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := 1 + rng.Intn(30)
+			for i := 0; i < n; i++ {
+				d := Time(rng.Intn(7)) // small range forces many ties
+				at := env.Now() + d
+				seq++
+				mySeq := seq
+				want = append(want, stamp{at: at, seq: mySeq})
+				env.Schedule(d, func() {
+					fired = append(fired, stamp{at: env.Now(), seq: mySeq})
+					// Occasionally schedule more work from inside an event,
+					// the pattern processes produce constantly.
+					if depth < 3 && rng.Intn(4) == 0 {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		env.Run()
+		// Reference order: stable sort by timestamp (stability preserves the
+		// scheduling sequence for ties).
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: event %d fired as %+v, reference order wants %+v",
+					trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		env := NewEnv()

@@ -1,0 +1,160 @@
+// Command serve runs the online serving front-end: timestamped requests
+// (synthetic Poisson arrivals or a replayed recording) admitted into a
+// deadline-aware batcher, executed on a persistent simulated accelerator,
+// with drift-triggered re-scheduling keeping the plan matched to the live
+// routing distribution.
+//
+// Usage:
+//
+//	serve -model skipnet -requests 2000 -gap 9000 -slo 2500000
+//	serve -model skipnet -compare              # rescheduling on vs off
+//	serve -replay trace.json -gap 500000       # serve a recorded trace
+//	serve -model moe -reschedule=false         # static plan forever
+//
+// All times are machine cycles (the simulated accelerator clock).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "moe", "workload to serve")
+		design   = flag.String("design", string(core.DesignAdyna), "machine design")
+		seed     = flag.Int64("seed", 1, "seed for traces and arrivals")
+		requests = flag.Int("requests", 6000, "synthetic requests to serve")
+		gap      = flag.Float64("gap", 26000, "mean interarrival gap (cycles)")
+		ratewalk = flag.Float64("ratewalk", 0, "per-request std-dev of the arrival-rate random walk (0 = stationary)")
+		slo      = flag.Int64("slo", 4_000_000, "per-request deadline from arrival (cycles, 0 = none)")
+		maxBatch = flag.Int("maxbatch", 32, "batch-size cap (samples); also the graph's max batch")
+		maxWait  = flag.Int64("maxwait", 0, "queue-wait deadline of the oldest request (cycles, 0 = slo/4)")
+		queueCap = flag.Int("queuecap", 0, "admission queue bound (samples, 0 = 8x maxbatch)")
+		resched  = flag.Bool("reschedule", true, "drift-triggered re-scheduling")
+		thresh   = flag.Float64("threshold", 0.02, "profile divergence triggering a re-schedule")
+		check    = flag.Int("check", 8, "drift-check cadence (batches)")
+		cooldown = flag.Int("cooldown", 40, "min batches between re-schedules")
+		warmup   = flag.Int("warmup", 40, "warmup batches profiled before the initial schedule")
+		replay   = flag.String("replay", "", "serve a recorded trace file instead of synthetic arrivals")
+		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Model:           *model,
+		Design:          core.Design(*design),
+		RC:              core.DefaultRunConfig(),
+		MaxBatch:        *maxBatch,
+		MaxWaitCycles:   *maxWait,
+		SLOCycles:       *slo,
+		QueueCapSamples: *queueCap,
+		Reschedule:      *resched,
+		DriftThreshold:  *thresh,
+		CheckEvery:      *check,
+		CooldownBatches: *cooldown,
+	}
+	cfg.RC.Batch = *maxBatch
+	cfg.RC.Warmup = *warmup
+	cfg.RC.Seed = *seed
+
+	if err := run(cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// newSource builds the request stream; arrivals use their own deterministic
+// seed so the stream is identical across server configurations.
+func newSource(replay string, requests int, gap, ratewalk float64, seed int64) (serve.Source, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rec, err := workload.LoadRecording(f)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewReplay(rec, gap, seed+1)
+	}
+	var rate *workload.Drift
+	if ratewalk > 0 {
+		rate = workload.NewDrift(1, 0.25, 2.5, ratewalk)
+	}
+	return serve.NewSynthetic(requests, gap, seed+1, rate), nil
+}
+
+func run(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64, compare bool) error {
+	if replay != "" {
+		// The server must be brought up for the recording's model and batch.
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		rec, err := workload.LoadRecording(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Model = rec.Model
+		cfg.RC.Batch = rec.BatchSamples
+		cfg.MaxBatch = rec.BatchSamples
+	}
+	if !compare {
+		rep, err := serveOnce(cfg, replay, requests, gap, ratewalk, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	on, off := cfg, cfg
+	on.Reschedule, off.Reschedule = true, false
+	repOn, err := serveOnce(on, replay, requests, gap, ratewalk, seed)
+	if err != nil {
+		return err
+	}
+	repOff, err := serveOnce(off, replay, requests, gap, ratewalk, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(repOn)
+	fmt.Println(repOff)
+	t := &metrics.Table{
+		Title:   "Drift-triggered re-scheduling vs static plan (same arrivals, same seed)",
+		Columns: []string{"Metric", "reschedule", "static", "improvement"},
+	}
+	ratio := func(a, b float64) string {
+		if a == 0 {
+			return "-"
+		}
+		return metrics.F(b/a, 2) + "x"
+	}
+	t.AddRow("p50 latency", metrics.F(repOn.Latency.P50, 0), metrics.F(repOff.Latency.P50, 0), ratio(repOn.Latency.P50, repOff.Latency.P50))
+	t.AddRow("p99 latency", metrics.F(repOn.Latency.P99, 0), metrics.F(repOff.Latency.P99, 0), ratio(repOn.Latency.P99, repOff.Latency.P99))
+	t.AddRow("shed rate", metrics.F(repOn.ShedRate()*100, 1)+"%", metrics.F(repOff.ShedRate()*100, 1)+"%", ratio(repOn.ShedRate(), repOff.ShedRate()))
+	t.AddRow("miss rate", metrics.F(repOn.MissRate()*100, 1)+"%", metrics.F(repOff.MissRate()*100, 1)+"%", ratio(repOn.MissRate(), repOff.MissRate()))
+	t.AddRow("reschedules", fmt.Sprint(repOn.Reschedules), fmt.Sprint(repOff.Reschedules), "")
+	fmt.Println(t)
+	return nil
+}
+
+func serveOnce(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64) (*serve.Report, error) {
+	src, err := newSource(replay, requests, gap, ratewalk, seed)
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Serve(src)
+}

@@ -130,6 +130,18 @@ func (m *Machine) Profiler() *profiler.Profiler { return m.prof }
 // Now returns the current simulated time.
 func (m *Machine) Now() sim.Time { return m.env.Now() }
 
+// AdvanceTo moves the simulated clock forward to t without doing any work.
+// The online serving layer uses it to model idle gaps between request
+// arrivals on the same clock the machine executes on; times at or before the
+// current clock are a no-op.
+func (m *Machine) AdvanceTo(t sim.Time) {
+	if t <= m.env.Now() {
+		return
+	}
+	m.env.At(t, func() {})
+	m.env.Run()
+}
+
 // LoadPlan installs a plan. The first load is free (initial configuration);
 // subsequent loads model a reconfiguration: the pipeline has already drained
 // (Run drains), kernel stores are re-loaded through HBM, and a fixed control

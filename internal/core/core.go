@@ -127,30 +127,30 @@ func RunWithPolicy(d Design, modelName string, rc RunConfig, mutate func(*sched.
 	return run(d, modelName, rc, mutate)
 }
 
-func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {
+// Setup is a brought-up machine design, ready to execute measured batches:
+// the workload, the machine with the warmup profile observed and the initial
+// plan loaded, the policy it was scheduled under, and the trace source
+// positioned just past the warmup batches.
+type Setup struct {
+	W      *models.Workload
+	M      *accel.Machine
+	Policy sched.Policy
+	Src    *workload.Source
+}
+
+// Bringup assembles a machine design the way every runner does before its
+// measured window: build the workload and machine, feed the warmup trace to
+// the hardware profiler (Adyna's "initial profiling result"), schedule the
+// initial plan from that profile, and load it (the first load is free).
+// mutate optionally adjusts the policy before scheduling. Shared by the
+// offline runners here and the online serving layer (internal/serve).
+func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (*Setup, error) {
 	if err := rc.validate(); err != nil {
-		return metrics.RunResult{}, err
+		return nil, err
 	}
-	w, err := models.ByName(modelName, rc.Batch)
-	if err != nil {
-		return metrics.RunResult{}, err
-	}
-	src := workload.NewSource(rc.Seed)
-	warm := w.GenTrace(src, rc.Warmup, rc.Batch)
-	meas := w.GenTrace(src, rc.Batches, rc.Batch)
-
-	switch d {
-	case DesignGPU:
-		r, err := baselines.GPU(rc.HW, w, meas)
-		return r, err
-	case DesignMTenant:
-		r, err := baselines.MTenant(rc.HW, w, meas)
-		return r, err
-	}
-
 	pol, opts, err := policyFor(d)
 	if err != nil {
-		return metrics.RunResult{}, err
+		return nil, err
 	}
 	if mutate != nil {
 		mutate(&pol)
@@ -158,27 +158,59 @@ func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (
 	if d == DesignRealtime {
 		opts.OnlineSchedLatencyCycles = rc.OnlineSchedCycles
 	}
+	w, err := models.ByName(modelName, rc.Batch)
+	if err != nil {
+		return nil, err
+	}
 	m, err := accel.New(rc.HW, w.Graph, opts)
 	if err != nil {
-		return metrics.RunResult{}, err
+		return nil, err
 	}
-	// Initial profiling: the hardware profiler observes the warmup batches.
-	for _, b := range warm {
+	src := workload.NewSource(rc.Seed)
+	for _, b := range w.GenTrace(src, rc.Warmup, rc.Batch) {
 		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
 		if err != nil {
-			return metrics.RunResult{}, err
+			return nil, err
 		}
 		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
-			return metrics.RunResult{}, err
+			return nil, err
 		}
 	}
 	plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
 	if err != nil {
-		return metrics.RunResult{}, err
+		return nil, err
 	}
 	if err := m.LoadPlan(plan); err != nil {
+		return nil, err
+	}
+	return &Setup{W: w, M: m, Policy: pol, Src: src}, nil
+}
+
+func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {
+	switch d {
+	case DesignGPU, DesignMTenant:
+		if err := rc.validate(); err != nil {
+			return metrics.RunResult{}, err
+		}
+		w, err := models.ByName(modelName, rc.Batch)
+		if err != nil {
+			return metrics.RunResult{}, err
+		}
+		src := workload.NewSource(rc.Seed)
+		w.GenTrace(src, rc.Warmup, rc.Batch) // keep the measured trace aligned with the machine designs
+		meas := w.GenTrace(src, rc.Batches, rc.Batch)
+		if d == DesignGPU {
+			return baselines.GPU(rc.HW, w, meas)
+		}
+		return baselines.MTenant(rc.HW, w, meas)
+	}
+
+	setup, err := Bringup(d, modelName, rc, mutate)
+	if err != nil {
 		return metrics.RunResult{}, err
 	}
+	w, m, pol := setup.W, setup.M, setup.Policy
+	meas := w.GenTrace(setup.Src, rc.Batches, rc.Batch)
 
 	// All machine designs execute in fixed windows (multi-segment models
 	// stream a window through each segment in turn), so weight amortization
@@ -260,50 +292,19 @@ func RunAllWorkers(designs []Design, modelName string, rc RunConfig, workers int
 // latencies in cycles (window-relative). Only the pipelined machine designs
 // have latencies to measure.
 func BatchLatencies(d Design, modelName string, rc RunConfig) ([]float64, error) {
-	if err := rc.validate(); err != nil {
-		return nil, err
-	}
-	pol, opts, err := policyFor(d)
+	setup, err := Bringup(d, modelName, rc, nil)
 	if err != nil {
-		return nil, err
-	}
-	if d == DesignRealtime {
-		opts.OnlineSchedLatencyCycles = rc.OnlineSchedCycles
-	}
-	w, err := models.ByName(modelName, rc.Batch)
-	if err != nil {
-		return nil, err
-	}
-	m, err := accel.New(rc.HW, w.Graph, opts)
-	if err != nil {
-		return nil, err
-	}
-	src := workload.NewSource(rc.Seed)
-	for _, b := range w.GenTrace(src, rc.Warmup, rc.Batch) {
-		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
-			return nil, err
-		}
-	}
-	plan, err := sched.Schedule(rc.HW, w.Graph, pol, m.Profiler())
-	if err != nil {
-		return nil, err
-	}
-	if err := m.LoadPlan(plan); err != nil {
 		return nil, err
 	}
 	n := rc.Batches
 	if n > ExecWindow {
 		n = ExecWindow
 	}
-	if err := m.Run(w.GenTrace(src, n, rc.Batch)); err != nil {
+	if err := setup.M.Run(setup.W.GenTrace(setup.Src, n, rc.Batch)); err != nil {
 		return nil, err
 	}
 	out := make([]float64, 0, n)
-	for _, l := range m.Latencies() {
+	for _, l := range setup.M.Latencies() {
 		out = append(out, float64(l.Cycles()))
 	}
 	return out, nil

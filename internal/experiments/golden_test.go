@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// golden compares got against the committed golden file, rewriting it when
+// the -update flag is set (go test ./internal/experiments -run Golden -update).
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\n--- got:\n%s\n--- want:\n%s\nIf the change is intentional, regenerate with -update.", name, got, want)
+	}
+}
+
+// TestGoldenOutputs locks the end-to-end numbers of the quick evaluation at
+// seed 1: the Figure 9 design matrix and the serving latency table. Any
+// change to the cost model, scheduler, or trace generation shows up as a
+// byte-level diff here.
+func TestGoldenOutputs(t *testing.T) {
+	opt := Quick()
+	m, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure9_quick.txt", Figure9(m).String())
+
+	lt, err := LatencyTable(opt, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "latency_table_quick.txt", lt.String())
+}

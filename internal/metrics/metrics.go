@@ -87,6 +87,35 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Summary condenses a latency (or any scalar) distribution into the
+// percentiles a serving report quotes.
+type Summary struct {
+	Count                    int
+	Mean, P50, P95, P99, Max float64
+}
+
+// Summarize computes the distribution summary of xs (zero value when empty).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Count: len(xs),
+		P50:   Percentile(xs, 0.50),
+		P95:   Percentile(xs, 0.95),
+		P99:   Percentile(xs, 0.99),
+		Max:   xs[0],
+	}
+	for _, x := range xs {
+		s.Mean += x
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	return s
+}
+
 // Table is a simple fixed-width text table (what the experiment binary
 // prints for each figure/table of the paper).
 type Table struct {

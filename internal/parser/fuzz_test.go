@@ -1,0 +1,62 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser's contract on arbitrary input: it must either
+// return an error or a structurally valid graph — never panic. Successful
+// parses are round-tripped through the graph's public accessors to catch
+// graphs that validate but are internally inconsistent.
+func FuzzParse(f *testing.F) {
+	f.Add("model m units=1\ninput in bytes=64 max=8\noutput y from=in\n")
+	f.Add(`model skipblock units=1
+input  in bytes=4096 max=128
+conv   c1  from=in inc=64 outc=64 h=56 w=56 r=3 s=3 stride=1 pad=1
+gate   g1  from=c1 feat=64 choices=2
+switch sw  data=c1 mask=g1 branches=2
+conv   b1  from=sw:0 inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+conv   b2a from=sw:1 inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+conv   b2b from=b2a  inc=64 outc=64 h=56 w=56 r=3 s=3 pad=1
+merge  m1  switch=sw from=b1,b2b
+matmul fc  from=m1 in=64 out=1000
+output yhat from=fc
+`)
+	f.Add("model t\ninput in bytes=16 max=4\nmatmul fc from=in in=4 out=4\nsink s from=fc\noutput y from=fc\n")
+	f.Add("# comment only\n")
+	f.Add("model x units=0\ninput in bytes=-1 max=-5\noutput y from=in")
+	f.Add("model x\ninput in bytes=9999999999999999999 max=1\noutput y from=in")
+	f.Add("model a\nswitch sw data=zz mask=zz branches=2\n")
+	f.Add("model a\ninput in bytes=8 max=2\ngate g from=in feat=1 choices=1\nswitch sw data=in mask=g branches=1\nmerge m switch=sw from=sw:0\noutput y from=m\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		g, err := Parse(src)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("Parse returned both a graph and an error: %v", err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatal("Parse returned nil graph and nil error")
+		}
+		// A graph that builds must be traversable and self-consistent.
+		if strings.TrimSpace(g.Name) == "" {
+			t.Fatal("built graph has empty name")
+		}
+		for _, sw := range g.Switches() {
+			op := g.Op(sw)
+			if op == nil || op.NumBranches < 1 {
+				t.Fatalf("switch %d invalid after successful parse: %+v", sw, op)
+			}
+		}
+		for _, op := range g.Ops {
+			if op.MaxUnits < 0 {
+				t.Fatalf("op %q has negative max units", op.Name)
+			}
+		}
+	})
+}

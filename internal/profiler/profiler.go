@@ -19,7 +19,12 @@ type Profiler struct {
 	// were both active (received at least one unit).
 	coact map[graph.OpID][][]int64
 	// active[sw][i] counts batches in which branch i was active.
-	active  map[graph.OpID][]int64
+	active map[graph.OpID][]int64
+	// units[sw][i] counts the units switch sw routed to branch i. Where the
+	// active counters capture per-batch presence, these capture volume — the
+	// statistic frequency-weighted allocation is actually built from, and the
+	// one the serving layer's drift detector compares against its plan.
+	units   map[graph.OpID][]int64
 	batches int64
 }
 
@@ -31,6 +36,7 @@ func New(g *graph.Graph) *Profiler {
 		g:      g,
 		coact:  map[graph.OpID][][]int64{},
 		active: map[graph.OpID][]int64{},
+		units:  map[graph.OpID][]int64{},
 	}
 	for _, swID := range g.Switches() {
 		n := g.Op(swID).NumBranches
@@ -40,6 +46,7 @@ func New(g *graph.Graph) *Profiler {
 		}
 		p.coact[swID] = m
 		p.active[swID] = make([]int64, n)
+		p.units[swID] = make([]int64, n)
 	}
 	return p
 }
@@ -59,7 +66,11 @@ func (p *Profiler) ObserveBatch(units map[graph.OpID]int, rt graph.BatchRouting)
 		if !ok {
 			return fmt.Errorf("profiler: routing for unknown switch %d", sw)
 		}
+		ub := p.units[sw]
 		for i := range r.Branch {
+			if i < len(ub) {
+				ub[i] += int64(len(r.Branch[i]))
+			}
 			if len(r.Branch[i]) == 0 {
 				continue
 			}
@@ -80,30 +91,53 @@ func (p *Profiler) ObserveBatch(units map[graph.OpID]int, rt graph.BatchRouting)
 func (p *Profiler) Batches() int64 { return p.batches }
 
 // CoActivation returns the fraction of observed batches in which branches i
-// and j of switch sw were simultaneously active. With no observations it
-// returns 1 (assume the worst: always together).
+// and j of switch sw were simultaneously active. With no observations — or an
+// unknown switch or out-of-range branch index — it returns 1 (assume the
+// worst: always together).
 func (p *Profiler) CoActivation(sw graph.OpID, i, j int) float64 {
 	if p.batches == 0 {
 		return 1
 	}
 	m, ok := p.coact[sw]
-	if !ok || i >= len(m) || j >= len(m) {
+	if !ok || i < 0 || j < 0 || i >= len(m) || j >= len(m) {
 		return 1
 	}
 	return float64(m[i][j]) / float64(p.batches)
 }
 
 // BranchActiveFraction returns how often branch i of switch sw received any
-// units. With no observations it returns 1.
+// units. With no observations — or an unknown switch or out-of-range branch
+// index — it returns 1.
 func (p *Profiler) BranchActiveFraction(sw graph.OpID, i int) float64 {
 	if p.batches == 0 {
 		return 1
 	}
 	a, ok := p.active[sw]
-	if !ok || i >= len(a) {
+	if !ok || i < 0 || i >= len(a) {
 		return 1
 	}
 	return float64(a[i]) / float64(p.batches)
+}
+
+// BranchUnitShare returns the fraction of all units switch sw routed that
+// went to branch i over the observation window. With no observed volume (or
+// an unknown switch / out-of-range index) it returns 0: unlike the per-batch
+// statistics there is no worst case to assume — absent volume is itself the
+// signal. For non-exclusive switches (top-k MoE) the shares are normalized
+// over the routed copies, so they still sum to 1 across branches.
+func (p *Profiler) BranchUnitShare(sw graph.OpID, i int) float64 {
+	ub, ok := p.units[sw]
+	if !ok || i < 0 || i >= len(ub) {
+		return 0
+	}
+	var total int64
+	for _, n := range ub {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ub[i]) / float64(total)
 }
 
 // LeastCoActivePair returns the pair of branches of sw with the lowest
@@ -142,6 +176,9 @@ func (p *Profiler) Reset() {
 		}
 		for i := range p.active[sw] {
 			p.active[sw][i] /= 2
+		}
+		for i := range p.units[sw] {
+			p.units[sw][i] /= 2
 		}
 	}
 	p.batches /= 2

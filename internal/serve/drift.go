@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/profiler"
+)
+
+// detector watches the on-chip profiler for distribution drift relative to
+// the profile the current plan was scheduled from. It snapshots two
+// per-branch statistics at plan time — the unit share (the volume statistic
+// frequency-weighted allocation is built from) and the batch-active fraction
+// (what tile sharing and branch grouping key on) — and reports how far the
+// live profile has moved from that snapshot.
+type detector struct {
+	prof *profiler.Profiler
+	sws  []graph.OpID
+	nb   []int
+	// baseShare / baseActive are the per-switch per-branch snapshots taken by
+	// the last Rebase, indexed like sws.
+	baseShare  [][]float64
+	baseActive [][]float64
+}
+
+func newDetector(g *graph.Graph, prof *profiler.Profiler) *detector {
+	d := &detector{prof: prof, sws: g.Switches()}
+	d.nb = make([]int, len(d.sws))
+	d.baseShare = make([][]float64, len(d.sws))
+	d.baseActive = make([][]float64, len(d.sws))
+	for i, sw := range d.sws {
+		d.nb[i] = g.Op(sw).NumBranches
+		d.baseShare[i] = make([]float64, d.nb[i])
+		d.baseActive[i] = make([]float64, d.nb[i])
+	}
+	d.Rebase()
+	return d
+}
+
+// Rebase snapshots the current profile as the new reference — called right
+// after a plan computed from that profile is installed.
+func (d *detector) Rebase() {
+	for i, sw := range d.sws {
+		for k := 0; k < d.nb[i]; k++ {
+			d.baseShare[i][k] = d.prof.BranchUnitShare(sw, k)
+			d.baseActive[i][k] = d.prof.BranchActiveFraction(sw, k)
+		}
+	}
+}
+
+// Divergence returns the drift of the live profile since the last Rebase:
+// the mean absolute per-branch difference, computed separately for unit
+// shares and active fractions and maxed over the two statistics. 0 for
+// graphs without switches.
+func (d *detector) Divergence() float64 {
+	var sumShare, sumActive float64
+	n := 0
+	for i, sw := range d.sws {
+		for k := 0; k < d.nb[i]; k++ {
+			sumShare += math.Abs(d.prof.BranchUnitShare(sw, k) - d.baseShare[i][k])
+			sumActive += math.Abs(d.prof.BranchActiveFraction(sw, k) - d.baseActive[i][k])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Max(sumShare, sumActive) / float64(n)
+}

@@ -1,0 +1,411 @@
+// Package serve is the online inference front-end over the simulator: the
+// serving-time loop the paper's runtime story (Section V: hardware profiler
+// driving periodic re-scheduling) implies, made explicit. A Server admits
+// timestamped requests, forms batches under a dual policy — a batch-size cap
+// or the oldest request's queue-wait deadline, whichever fires first —
+// executes them on a persistent accelerator machine, and watches the on-chip
+// profiler for distribution drift. When the live profile diverges from the
+// one the current plan was scheduled from, a new plan is computed off the
+// request hot path (host-side, DyCL-style compile/dispatch split) and
+// swapped in; only the swap itself — pipeline drain plus kernel-store
+// reload — lands on the machine clock. Overload is handled by bounded-queue
+// load shedding with per-request outcomes.
+//
+// Everything runs in virtual time on the machine's own clock, single
+// threaded and deterministic: the same seed and configuration produce an
+// identical per-request outcome log at any GOMAXPROCS.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Outcome is a request's terminal state.
+type Outcome uint8
+
+// The per-request outcomes.
+const (
+	// Served: executed and completed within the SLO.
+	Served Outcome = iota
+	// DeadlineMissed: executed, but completed after the SLO deadline.
+	DeadlineMissed
+	// Shed: never executed — rejected at admission because the queue was
+	// full, or dropped at batch formation because its SLO had already
+	// expired while it queued.
+	Shed
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Served:
+		return "served"
+	case DeadlineMissed:
+		return "deadline-missed"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Model is the workload to serve; Design is the machine design (default
+	// Adyna); RC carries the hardware config, warmup length and seed. RC.Batch
+	// sizes the graph's maximum batch and defaults MaxBatch.
+	Model  string
+	Design core.Design
+	RC     core.RunConfig
+
+	// MaxBatch caps a formed batch, in samples (default RC.Batch).
+	MaxBatch int
+	// MaxWaitCycles is the queue-wait deadline of the oldest queued request:
+	// a partial batch fires once its head has waited this long (default
+	// SLOCycles/4, or 100k cycles without an SLO).
+	MaxWaitCycles int64
+	// SLOCycles is the per-request completion deadline measured from arrival
+	// (0 disables deadline accounting: nothing is ever missed or expired).
+	SLOCycles int64
+	// QueueCapSamples bounds the admission queue; arrivals beyond it are
+	// shed (default 8x MaxBatch).
+	QueueCapSamples int
+
+	// Reschedule enables the drift-triggered re-scheduler.
+	Reschedule bool
+	// DriftThreshold is the profile divergence (mean absolute per-branch
+	// difference, see detector) that triggers a re-schedule (default 0.06).
+	DriftThreshold float64
+	// CheckEvery is the drift-check cadence in executed batches (default 8).
+	CheckEvery int
+	// CooldownBatches is the minimum number of executed batches between
+	// re-schedules, which is also the observation window a fresh profile
+	// needs before its statistics mean anything (default core.ExecWindow).
+	CooldownBatches int
+}
+
+func (c *Config) defaults() {
+	if c.Design == "" {
+		c.Design = core.DesignAdyna
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.RC.Batch
+	}
+	if c.QueueCapSamples <= 0 {
+		c.QueueCapSamples = 8 * c.MaxBatch
+	}
+	if c.MaxWaitCycles <= 0 {
+		if c.SLOCycles > 0 {
+			c.MaxWaitCycles = c.SLOCycles / 4
+		} else {
+			c.MaxWaitCycles = 100_000
+		}
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.06
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 8
+	}
+	if c.CooldownBatches <= 0 {
+		c.CooldownBatches = core.ExecWindow
+	}
+}
+
+// RequestResult is one request's outcome record.
+type RequestResult struct {
+	ID      int
+	Arrival int64
+	// Done is the completion cycle (0 for shed requests).
+	Done    int64
+	Outcome Outcome
+}
+
+// Latency returns the request's completion latency in cycles (meaningless
+// for shed requests).
+func (r RequestResult) Latency() int64 { return r.Done - r.Arrival }
+
+// Report is the outcome of one Serve call.
+type Report struct {
+	Model  string
+	Design core.Design
+
+	Requests, Served, Missed, Shed int
+	Batches, Reschedules           int
+	// ReconfigCycles is the machine time spent in drift-triggered plan swaps
+	// (pipeline drain + kernel-store reload).
+	ReconfigCycles int64
+	// FinalCycles is the machine clock when the stream drained.
+	FinalCycles int64
+	// MaxDivergence is the largest profile divergence seen at a drift check
+	// (0 when rescheduling is off or no check ever ran).
+	MaxDivergence float64
+	// Latency summarizes completion latency (cycles, arrival to done) over
+	// executed requests — served and deadline-missed alike.
+	Latency metrics.Summary
+	// Outcomes is the per-request log, in terminal order.
+	Outcomes []RequestResult
+}
+
+func (r *Report) record(res RequestResult) {
+	r.Requests++
+	switch res.Outcome {
+	case Served:
+		r.Served++
+	case DeadlineMissed:
+		r.Missed++
+	case Shed:
+		r.Shed++
+	}
+	r.Outcomes = append(r.Outcomes, res)
+}
+
+// ShedRate returns the fraction of requests shed.
+func (r *Report) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// MissRate returns the fraction of requests that executed but missed the SLO.
+func (r *Report) MissRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Missed) / float64(r.Requests)
+}
+
+// String renders the report as the serving table cmd/serve prints.
+func (r *Report) String() string {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Serving report: %s on %s", r.Model, r.Design),
+		Columns: []string{"Metric", "Value"},
+	}
+	t.AddRow("requests", fmt.Sprint(r.Requests))
+	t.AddRow("served", fmt.Sprint(r.Served))
+	t.AddRow("deadline-missed", fmt.Sprint(r.Missed))
+	t.AddRow("shed", fmt.Sprintf("%d (%.1f%%)", r.Shed, r.ShedRate()*100))
+	t.AddRow("batches", fmt.Sprint(r.Batches))
+	t.AddRow("reschedules", fmt.Sprint(r.Reschedules))
+	t.AddRow("reconfig cycles", fmt.Sprint(r.ReconfigCycles))
+	t.AddRow("max divergence", metrics.F(r.MaxDivergence, 3))
+	t.AddRow("latency p50 (cycles)", metrics.F(r.Latency.P50, 0))
+	t.AddRow("latency p95 (cycles)", metrics.F(r.Latency.P95, 0))
+	t.AddRow("latency p99 (cycles)", metrics.F(r.Latency.P99, 0))
+	t.AddRow("latency mean (cycles)", metrics.F(r.Latency.Mean, 0))
+	t.AddRow("final clock (cycles)", fmt.Sprint(r.FinalCycles))
+	return t.String()
+}
+
+// Server is the online front-end: one brought-up machine plus admission
+// state. Not safe for concurrent use — the serving loop is a deterministic
+// single-threaded discrete-event simulation.
+type Server struct {
+	cfg   Config
+	setup *core.Setup
+	det   *detector
+
+	queue         []Request
+	queuedSamples int
+	rep           *Report
+	sinceResched  int
+}
+
+// New brings up a server: machine built, warmup profile observed, initial
+// plan scheduled from it and loaded, drift reference snapshotted.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	setup, err := core.Bringup(cfg.Design, cfg.Model, cfg.RC, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		setup: setup,
+		det:   newDetector(setup.W.Graph, setup.M.Profiler()),
+	}, nil
+}
+
+// Setup exposes the brought-up machine bundle (tests and tools).
+func (s *Server) Setup() *core.Setup { return s.setup }
+
+// Serve drains the request stream and returns the outcome report. The
+// machine clock and profiler state persist across calls, so successive Serve
+// calls model one long-running deployment.
+func (s *Server) Serve(src Source) (*Report, error) {
+	m := s.setup.M
+	rep := &Report{Model: s.setup.W.Name, Design: s.cfg.Design}
+	s.rep = rep
+	s.sinceResched = 0
+
+	next, more := src.Next()
+	admit := func(now int64) {
+		for more && next.Arrival <= now {
+			s.admit(next)
+			next, more = src.Next()
+		}
+	}
+	for {
+		now := int64(m.Now())
+		admit(now)
+		if len(s.queue) == 0 {
+			if !more {
+				break
+			}
+			// Idle: jump the machine clock to the next arrival.
+			m.AdvanceTo(sim.Time(next.Arrival))
+			continue
+		}
+		// Dual batching policy: fire when the batch-size cap is reached or
+		// when the head request's queue-wait deadline expires, whichever
+		// comes first. Until then, idle forward and keep admitting.
+		fireAt := s.queue[0].Arrival + s.cfg.MaxWaitCycles
+		full := s.queuedSamples >= s.cfg.MaxBatch || s.queue[0].Routing != nil
+		if !full && now < fireAt {
+			if more && next.Arrival < fireAt {
+				m.AdvanceTo(sim.Time(next.Arrival))
+				continue
+			}
+			if more {
+				// The next arrival lands past the wait deadline: idle to the
+				// deadline and fire the partial batch.
+				m.AdvanceTo(sim.Time(fireAt))
+			}
+			// Without further arrivals the partial batch flushes immediately.
+		}
+		if err := s.fireBatch(int64(m.Now())); err != nil {
+			return nil, err
+		}
+	}
+	lats := make([]float64, 0, len(rep.Outcomes))
+	for _, o := range rep.Outcomes {
+		if o.Outcome != Shed {
+			lats = append(lats, float64(o.Latency()))
+		}
+	}
+	rep.Latency = metrics.Summarize(lats)
+	rep.FinalCycles = int64(m.Now())
+	return rep, nil
+}
+
+func (s *Server) admit(req Request) {
+	if req.Samples <= 0 {
+		req.Samples = 1
+		if req.Routing != nil {
+			if ups := s.setup.W.Graph.UnitsPerSample; ups > 0 && req.Units > ups {
+				req.Samples = req.Units / ups
+			}
+		}
+	}
+	if s.queuedSamples+req.Samples > s.cfg.QueueCapSamples {
+		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Outcome: Shed})
+		return
+	}
+	s.queue = append(s.queue, req)
+	s.queuedSamples += req.Samples
+}
+
+func (s *Server) popHead() Request {
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	s.queuedSamples -= req.Samples
+	return req
+}
+
+// fireBatch forms one batch from the queue head, executes it on the machine,
+// records outcomes, and runs the drift check.
+func (s *Server) fireBatch(now int64) error {
+	// Shed queued requests whose SLO has already expired: executing them
+	// cannot meet the deadline, and they would drag fresh requests past
+	// theirs.
+	for len(s.queue) > 0 && s.cfg.SLOCycles > 0 && s.queue[0].Arrival+s.cfg.SLOCycles <= now {
+		req := s.popHead()
+		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Outcome: Shed})
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	w := s.setup.W
+	var batch []Request
+	var units int
+	var b workload.Batch
+	if s.queue[0].Routing != nil {
+		// Replayed request: its routing is fixed, it is its own batch.
+		req := s.popHead()
+		batch = []Request{req}
+		b = workload.Batch{Index: s.rep.Batches, Units: req.Units, Routing: req.Routing}
+	} else {
+		samples := 0
+		for len(s.queue) > 0 && s.queue[0].Routing == nil {
+			if len(batch) > 0 && samples+s.queue[0].Samples > s.cfg.MaxBatch {
+				break
+			}
+			req := s.popHead()
+			samples += req.Samples
+			batch = append(batch, req)
+		}
+		units = samples * w.Graph.UnitsPerSample
+		// Routing is decided at batch-formation time for the batch's actual
+		// size, by the workload's (drifting) generator.
+		b = workload.Batch{Index: s.rep.Batches, Units: units, Routing: w.Gen.Next(s.setup.Src, units)}
+	}
+	if err := s.setup.M.Run([]workload.Batch{b}); err != nil {
+		return err
+	}
+	done := int64(s.setup.M.Now())
+	for _, req := range batch {
+		out := Served
+		if s.cfg.SLOCycles > 0 && done > req.Arrival+s.cfg.SLOCycles {
+			out = DeadlineMissed
+		}
+		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Done: done, Outcome: out})
+	}
+	s.rep.Batches++
+	s.sinceResched++
+	if s.cfg.Reschedule && s.rep.Batches%s.cfg.CheckEvery == 0 {
+		return s.maybeReschedule()
+	}
+	return nil
+}
+
+// maybeReschedule re-plans when the live profile has drifted past the
+// threshold. The plan itself is computed host-side while the accelerator
+// keeps serving (the schedule decision stays off the request hot path); only
+// the swap — pipeline drain plus kernel-store reload, charged by LoadPlan —
+// lands on the machine clock, exactly like the periodic reconfiguration of
+// the offline runner.
+func (s *Server) maybeReschedule() error {
+	div := s.det.Divergence()
+	if div > s.rep.MaxDivergence {
+		s.rep.MaxDivergence = div
+	}
+	if s.sinceResched < s.cfg.CooldownBatches {
+		return nil
+	}
+	if div < s.cfg.DriftThreshold {
+		return nil
+	}
+	m := s.setup.M
+	plan, err := sched.Schedule(s.cfg.RC.HW, s.setup.W.Graph, s.setup.Policy, m.Profiler())
+	if err != nil {
+		return err
+	}
+	before := m.Stats().ReconfigCycles
+	if err := m.LoadPlan(plan); err != nil {
+		return err
+	}
+	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
+	// Age the profiling window (the paper's periodic report) and rebase the
+	// drift reference on the profile the new plan was built from.
+	m.Profiler().Reset()
+	s.det.Rebase()
+	s.rep.Reschedules++
+	s.sinceResched = 0
+	return nil
+}

@@ -58,6 +58,14 @@ func (rec *Recording) Replay() ([]Batch, error) {
 			if err != nil {
 				return nil, fmt.Errorf("workload: batch %d has bad switch key %q", i, key)
 			}
+			for k, br := range branches {
+				for _, u := range br {
+					if u < 0 || u >= rb.Units {
+						return nil, fmt.Errorf("workload: batch %d switch %s branch %d routes unit %d outside [0,%d)",
+							i, key, k, u, rb.Units)
+					}
+				}
+			}
 			rt[graph.OpID(id)] = graph.Routing{Branch: branches}
 		}
 		out = append(out, Batch{Index: i, Units: rb.Units, Routing: rt})

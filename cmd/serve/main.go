@@ -11,15 +11,25 @@
 //	serve -replay trace.json -gap 500000       # serve a recorded trace
 //	serve -model moe -reschedule=false         # static plan forever
 //
+// Fault injection (degraded-mode serving) takes a spec string or a JSON
+// schedule file; with -compare it pits fault-aware re-scheduling against a
+// frozen plan on the same faulty chip:
+//
+//	serve -model moe -faults 'fail@2e6:tiles=0-35'
+//	serve -model moe -faults faults.json -compare
+//
 // All times are machine cycles (the simulated accelerator clock).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -43,6 +53,7 @@ func main() {
 		cooldown = flag.Int("cooldown", 40, "min batches between re-schedules")
 		warmup   = flag.Int("warmup", 40, "warmup batches profiled before the initial schedule")
 		replay   = flag.String("replay", "", "serve a recorded trace file instead of synthetic arrivals")
+		faultArg = flag.String("faults", "", "fault schedule: a spec string (kind@cycles:k=v,...) or a JSON file")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
 	)
 	flag.Parse()
@@ -64,10 +75,32 @@ func main() {
 	cfg.RC.Warmup = *warmup
 	cfg.RC.Seed = *seed
 
-	if err := run(cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare); err != nil {
+	if *faultArg != "" {
+		fs, err := loadFaults(*faultArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = fs
+	}
+
+	if err := run(os.Stdout, cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+}
+
+// loadFaults reads the -faults argument: a path to a JSON schedule when it
+// names a readable file, the compact spec syntax otherwise.
+func loadFaults(arg string) (*faults.Schedule, error) {
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		return faults.Load(f)
+	}
+	if strings.Contains(arg, ".json") {
+		return nil, fmt.Errorf("fault schedule file %q not readable", arg)
+	}
+	return faults.ParseSpec(arg)
 }
 
 // newSource builds the request stream; arrivals use their own deterministic
@@ -92,7 +125,7 @@ func newSource(replay string, requests int, gap, ratewalk float64, seed int64) (
 	return serve.NewSynthetic(requests, gap, seed+1, rate), nil
 }
 
-func run(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64, compare bool) error {
+func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64, compare bool) error {
 	if replay != "" {
 		// The server must be brought up for the recording's model and batch.
 		f, err := os.Open(replay)
@@ -113,7 +146,7 @@ func run(cfg serve.Config, replay string, requests int, gap, ratewalk float64, s
 		if err != nil {
 			return err
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(w, rep)
 		return nil
 	}
 	on, off := cfg, cfg
@@ -126,11 +159,17 @@ func run(cfg serve.Config, replay string, requests int, gap, ratewalk float64, s
 	if err != nil {
 		return err
 	}
-	fmt.Println(repOn)
-	fmt.Println(repOff)
+	fmt.Fprintln(w, repOn)
+	fmt.Fprintln(w, repOff)
+	title := "Drift-triggered re-scheduling vs static plan (same arrivals, same seed)"
+	adaptive := "reschedule"
+	if !cfg.Faults.Empty() {
+		title = "Fault-aware re-scheduling vs frozen plan (same arrivals, same faults, same seed)"
+		adaptive = "fault-aware"
+	}
 	t := &metrics.Table{
-		Title:   "Drift-triggered re-scheduling vs static plan (same arrivals, same seed)",
-		Columns: []string{"Metric", "reschedule", "static", "improvement"},
+		Title:   title,
+		Columns: []string{"Metric", adaptive, "static", "improvement"},
 	}
 	ratio := func(a, b float64) string {
 		if a == 0 {
@@ -142,8 +181,12 @@ func run(cfg serve.Config, replay string, requests int, gap, ratewalk float64, s
 	t.AddRow("p99 latency", metrics.F(repOn.Latency.P99, 0), metrics.F(repOff.Latency.P99, 0), ratio(repOn.Latency.P99, repOff.Latency.P99))
 	t.AddRow("shed rate", metrics.F(repOn.ShedRate()*100, 1)+"%", metrics.F(repOff.ShedRate()*100, 1)+"%", ratio(repOn.ShedRate(), repOff.ShedRate()))
 	t.AddRow("miss rate", metrics.F(repOn.MissRate()*100, 1)+"%", metrics.F(repOff.MissRate()*100, 1)+"%", ratio(repOn.MissRate(), repOff.MissRate()))
+	t.AddRow("deadline-missed", fmt.Sprint(repOn.Missed), fmt.Sprint(repOff.Missed), "")
 	t.AddRow("reschedules", fmt.Sprint(repOn.Reschedules), fmt.Sprint(repOff.Reschedules), "")
-	fmt.Println(t)
+	if !cfg.Faults.Empty() {
+		t.AddRow("health reschedules", fmt.Sprint(repOn.HealthReschedules), fmt.Sprint(repOff.HealthReschedules), "")
+	}
+	fmt.Fprintln(w, t)
 	return nil
 }
 

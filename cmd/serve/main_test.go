@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func smokeConfig() serve.Config {
+	cfg := serve.Config{
+		Model:           "skipnet",
+		Design:          core.DesignAdyna,
+		RC:              core.DefaultRunConfig(),
+		MaxBatch:        8,
+		SLOCycles:       3_000_000,
+		Reschedule:      true,
+		DriftThreshold:  0.02,
+		CheckEvery:      8,
+		CooldownBatches: 16,
+	}
+	cfg.RC.Batch = 8
+	cfg.RC.Warmup = 10
+	cfg.RC.Seed = 1
+	return cfg
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "requests") {
+		t.Fatalf("report missing from output:\n%s", buf.String())
+	}
+}
+
+func TestRunCompareSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Drift-triggered re-scheduling vs static plan") {
+		t.Fatalf("drift compare table missing:\n%s", out)
+	}
+	if strings.Contains(out, "health reschedules") {
+		t.Fatalf("fault-only row printed without faults:\n%s", out)
+	}
+}
+
+func TestRunCompareWithFaults(t *testing.T) {
+	cfg := smokeConfig()
+	fs, err := loadFaults("fail@2e6:tiles=0-35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fs
+	var buf bytes.Buffer
+	if err := run(&buf, cfg, "", 100, 80_000, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fault-aware re-scheduling vs frozen plan") {
+		t.Fatalf("fault compare table missing:\n%s", out)
+	}
+	for _, row := range []string{"fault-aware", "health reschedules", "deadline-missed"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("row %q missing:\n%s", row, out)
+		}
+	}
+}
+
+func TestLoadFaults(t *testing.T) {
+	fs, err := loadFaults("fail@1e6:tiles=0-3;hbm@2e6:factor=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Events) != 2 {
+		t.Fatalf("spec parsed to %d events, want 2", len(fs.Events))
+	}
+
+	// A JSON schedule file round-trips through Save/Load.
+	path := filepath.Join(t.TempDir(), "faults.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadFaults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("file loaded %d events, want 2", len(got.Events))
+	}
+
+	if _, err := loadFaults("missing-schedule.json"); err == nil {
+		t.Fatal("unreadable .json file accepted")
+	}
+	if _, err := loadFaults("melt@1e6"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

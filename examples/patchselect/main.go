@@ -8,51 +8,71 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/adyna"
 )
 
 func main() {
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run performs the two sweeps; quick shrinks them to smoke-test size.
+func run(w io.Writer, quick bool) error {
 	rc := adyna.DefaultRunConfig()
 	rc.Batches = 40
 	rc.Warmup = 16
+	sizes := []int{4, 16, 64, 128}
+	budgets := []int{1, 2, 4, 8, 16, 33}
+	budgetBatch := 128
+	if quick {
+		rc.Batches = 8
+		rc.Warmup = 4
+		sizes = []int{4, 16}
+		budgets = []int{1, 4}
+		budgetBatch = 16
+	}
 
-	fmt.Println("DPSNet (64 patches/image folded onto the batch dimension)")
-	fmt.Println()
-	fmt.Printf("%-10s %12s %16s %16s %9s\n", "batch", "dyn range", "M-tile cyc/b", "Adyna cyc/b", "speedup")
-	for _, bs := range []int{4, 16, 64, 128} {
+	fmt.Fprintln(w, "DPSNet (64 patches/image folded onto the batch dimension)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %12s %16s %16s %9s\n", "batch", "dyn range", "M-tile cyc/b", "Adyna cyc/b", "speedup")
+	for _, bs := range sizes {
 		rc := rc
 		rc.Batch = bs
 		mt, err := adyna.Run(adyna.DesignMTile, "dpsnet", rc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ad, err := adyna.Run(adyna.DesignAdyna, "dpsnet", rc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-10d %12d %16.0f %16.0f %8.2fx\n",
+		fmt.Fprintf(w, "%-10d %12d %16.0f %16.0f %8.2fx\n",
 			bs, bs*64, mt.CyclesPerBatch(), ad.CyclesPerBatch(), ad.SpeedupOver(mt))
 	}
-	fmt.Println()
-	fmt.Println("Larger batches fold more patches onto the dynamic dimension, widening")
-	fmt.Println("the gap between the worst case (all patches) and the typical case")
-	fmt.Println("(the informative patches) - which is exactly what Adyna exploits.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Larger batches fold more patches onto the dynamic dimension, widening")
+	fmt.Fprintln(w, "the gap between the worst case (all patches) and the typical case")
+	fmt.Fprintln(w, "(the informative patches) - which is exactly what Adyna exploits.")
 
 	// Kernel budget: how many sampled kernels per operator does DPSNet need?
-	fmt.Println()
-	fmt.Printf("%-22s %16s\n", "kernels per operator", "Adyna cyc/batch")
-	rc.Batch = 128
-	for _, budget := range []int{1, 2, 4, 8, 16, 33} {
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s %16s\n", "kernels per operator", "Adyna cyc/batch")
+	rc.Batch = budgetBatch
+	for _, budget := range budgets {
 		r, err := adyna.RunWithKernelBudget(adyna.DesignAdyna, "dpsnet", rc, budget)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-22d %16.0f\n", budget, r.CyclesPerBatch())
+		fmt.Fprintf(w, "%-22d %16.0f\n", budget, r.CyclesPerBatch())
 	}
-	fmt.Println()
-	fmt.Println("A single kernel degenerates toward worst-case execution; a handful of")
-	fmt.Println("well-sampled kernels recovers almost all of the benefit - the paper's")
-	fmt.Println("motivation for multi-kernel sampling under the 25.6 kB on-chip budget.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "A single kernel degenerates toward worst-case execution; a handful of")
+	fmt.Fprintln(w, "well-sampled kernels recovers almost all of the benefit - the paper's")
+	fmt.Fprintln(w, "motivation for multi-kernel sampling under the 25.6 kB on-chip budget.")
+	return nil
 }

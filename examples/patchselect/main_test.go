@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPatchSelectQuickSweep smoke-tests both sweeps at reduced scale.
+func TestPatchSelectQuickSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DPSNet", "speedup", "kernels per operator"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both batch rows of the quick sweep must have run.
+	if !strings.Contains(out, "\n4 ") || !strings.Contains(out, "\n16 ") {
+		t.Fatalf("sweep rows missing:\n%s", out)
+	}
+}

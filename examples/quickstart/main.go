@@ -6,12 +6,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/adyna"
 )
 
 func main() {
+	if err := run(os.Stdout, 30); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the whole walkthrough, simulating nBatches trace batches in
+// step 3 (the demo uses 30; tests shrink it).
+func run(w io.Writer, nBatches int) error {
 	// 1. Build a small layer-skipping network: a gate decides per sample
 	//    whether to run one conv (cheap path) or two convs (full path).
 	const batch = 32
@@ -46,9 +56,9 @@ func main() {
 
 	g, err := b.Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("built %q: %d operators, %d switches, worst case %.2f GMACs/batch\n",
+	fmt.Fprintf(w, "built %q: %d operators, %d switches, worst case %.2f GMACs/batch\n",
 		g.Name, len(g.Ops), len(g.Switches()), float64(g.MaxMACsPerBatch())/1e9)
 
 	// 2. Route a batch: even samples take the cheap path, odd ones the full
@@ -70,54 +80,62 @@ func main() {
 	}
 	res, err := g.Execute(input, rt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	out := res.Outputs[g.Outputs()[0]]
-	fmt.Printf("functional check: sample 0 (cheap) -> %v, sample 1 (full) -> %v\n",
+	fmt.Fprintf(w, "functional check: sample 0 (cheap) -> %v, sample 1 (full) -> %v\n",
 		out.At(0, 0), out.At(1, 0))
 	if out.At(0, 0) != -1 || out.At(1, 0) != 4 {
-		log.Fatal("routing was not lossless!")
+		return fmt.Errorf("routing was not lossless: got %v and %v", out.At(0, 0), out.At(1, 0))
 	}
 
 	// 3. Schedule and simulate: Adyna's multi-kernel plan vs the worst-case
 	//    static M-tile plan, over the same randomly routed trace.
 	cfg := adyna.DefaultConfig()
-	w, err := adyna.LoadModel("skipnet", 64)
+	wk, err := adyna.LoadModel("skipnet", 64)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	src := adyna.NewSource(42)
-	trace := w.GenTrace(src, 30, 64)
+	trace := wk.GenTrace(src, nBatches, 64)
+	warm := len(trace) / 3
 
-	runPlan := func(pol adyna.Policy) int64 {
-		m, err := adyna.NewMachine(cfg, w.Graph, adyna.MachineOptions{})
+	runPlan := func(pol adyna.Policy) (int64, error) {
+		m, err := adyna.NewMachine(cfg, wk.Graph, adyna.MachineOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
 		// Warm the profiler so frequency-weighted allocation has data.
-		for _, b := range trace[:10] {
-			units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+		for _, b := range trace[:warm] {
+			units, err := wk.Graph.AssignUnits(b.Units, b.Routing)
 			if err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
 			if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
 		}
-		plan, err := adyna.Schedule(cfg, w.Graph, pol, m.Profiler())
+		plan, err := adyna.Schedule(cfg, wk.Graph, pol, m.Profiler())
 		if err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
 		if err := m.LoadPlan(plan); err != nil {
-			log.Fatal(err)
+			return 0, err
 		}
-		if err := m.Run(trace[10:]); err != nil {
-			log.Fatal(err)
+		if err := m.Run(trace[warm:]); err != nil {
+			return 0, err
 		}
-		return m.Stats().Cycles
+		return m.Stats().Cycles, nil
 	}
-	mtile := runPlan(adyna.PolicyMTile())
-	ad := runPlan(adyna.PolicyAdyna())
-	fmt.Printf("simulated SkipNet (batch 64, 20 batches): M-tile %d cycles, Adyna %d cycles -> %.2fx speedup\n",
-		mtile, ad, float64(mtile)/float64(ad))
+	mtile, err := runPlan(adyna.PolicyMTile())
+	if err != nil {
+		return err
+	}
+	ad, err := runPlan(adyna.PolicyAdyna())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "simulated SkipNet (batch 64, %d batches): M-tile %d cycles, Adyna %d cycles -> %.2fx speedup\n",
+		len(trace)-warm, mtile, ad, float64(mtile)/float64(ad))
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the full walkthrough — graph build, lossless
+// routing check, schedule + simulate — on a shortened trace.
+func TestQuickstartRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 9); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"built \"demo-skipblock\"", "functional check", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package accel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func tileSeq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestDegradedConfigErrorPaths drives accel.New and sched.Plan.Validate
+// through the degraded-config rejection table at GOMAXPROCS 1 and 4 (the
+// checks are pure, but CI runs this file under -race and the serving layer
+// calls them from both settings).
+func TestDegradedConfigErrorPaths(t *testing.T) {
+	w, err := models.ByName("skipnet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := hw.Default()
+	plan, err := sched.Schedule(healthy, w.Graph, sched.Adyna(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allDead := healthy
+	allDead.FailedTiles = hw.NewTileMask(tileSeq(healthy.Tiles())...)
+	pastChip := healthy
+	pastChip.FailedTiles = hw.NewTileMask(healthy.Tiles() + 5)
+	badDerate := healthy
+	badDerate.NoCDerate = 2
+	halfDead := healthy
+	halfDead.FailedTiles = hw.NewTileMask(tileSeq(healthy.Tiles() / 2)...)
+
+	cases := []struct {
+		name    string
+		cfg     hw.Config
+		newErr  bool // accel.New must reject
+		planErr bool // plan scheduled for the healthy chip must fail Validate
+	}{
+		{"healthy", healthy, false, false},
+		{"zero surviving tiles", allDead, true, true},
+		{"mask larger than chip", pastChip, true, true},
+		{"derate out of range", badDerate, true, true},
+		{"half the chip dead", halfDead, false, true},
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("procs=%d/%s", procs, tc.name), func(t *testing.T) {
+				_, err := New(tc.cfg, w.Graph, Options{})
+				if gotErr := err != nil; gotErr != tc.newErr {
+					t.Errorf("accel.New error = %v, want error %v", err, tc.newErr)
+				}
+				err = plan.Validate(tc.cfg, w.Graph)
+				if gotErr := err != nil; gotErr != tc.planErr {
+					t.Errorf("plan.Validate error = %v, want error %v", err, tc.planErr)
+				}
+			})
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestSetCapabilityRejectsFatalMasks: capability changes that the validation
+// layer must refuse — and after a refusal the machine still runs.
+func TestSetCapabilityRejectsFatalMasks(t *testing.T) {
+	cfg := hw.Default()
+	w, err := models.ByName("skipnet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, w.Graph, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCapability(hw.NewTileMask(tileSeq(cfg.Tiles())...), 1, 1); err == nil {
+		t.Fatal("all-dead capability accepted")
+	}
+	if err := m.SetCapability(hw.NewTileMask(cfg.Tiles()+1), 1, 1); err == nil {
+		t.Fatal("out-of-range capability accepted")
+	}
+	// The rejected updates must not have corrupted the machine.
+	plan, err := sched.Schedule(cfg, w.Graph, sched.Adyna(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(w.GenTrace(workload.NewSource(3), 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenPlanDegradesAndReplanRecovers is the accel-level fault story:
+// losing a quarter of the tiles slows a frozen plan down; re-scheduling for
+// the surviving chip recovers (runs, and places no entity on a dead tile).
+func TestFrozenPlanDegradesAndReplanRecovers(t *testing.T) {
+	cfg := hw.Default()
+	// Workloads carry stateful routing generators, so each run gets a fresh
+	// one to keep the traces identical.
+	elapsed := func(degrade bool) (int64, *Machine, *models.Workload) {
+		w, err := models.ByName("skipnet", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(cfg, w.Graph, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sched.Schedule(cfg, w.Graph, sched.Adyna(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		if degrade {
+			if err := m.SetCapability(hw.NewTileMask(tileSeq(cfg.Tiles()/4)...), 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Run(w.GenTrace(workload.NewSource(11), 4, 16)); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().Cycles, m, w
+	}
+	base, _, _ := elapsed(false)
+	degraded, m, w := elapsed(true)
+	if degraded <= base {
+		t.Fatalf("quarter-dead chip not slower: %d vs healthy %d", degraded, base)
+	}
+
+	// Re-plan for the surviving tiles: the new plan must validate against the
+	// degraded config and execute.
+	liveCfg := cfg
+	liveCfg.FailedTiles = hw.NewTileMask(tileSeq(cfg.Tiles() / 4)...)
+	replan, err := sched.Schedule(liveCfg, w.Graph, sched.Adyna(), m.Profiler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replan.Validate(liveCfg, w.Graph); err != nil {
+		t.Fatalf("replan invalid for the degraded chip: %v", err)
+	}
+	for _, seg := range replan.Segments {
+		if seg.TotalTiles() > liveCfg.LiveTiles() {
+			t.Fatalf("replan segment %d uses %d tiles, only %d live", seg.Index, seg.TotalTiles(), liveCfg.LiveTiles())
+		}
+	}
+	if err := m.LoadPlan(replan); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(w.GenTrace(workload.NewSource(11), 4, 16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBandwidthDerateSlowsExecution: degraded HBM and NoC must cost cycles on
+// the same plan and trace, and restoring full bandwidth must restore speed.
+func TestBandwidthDerateSlowsExecution(t *testing.T) {
+	cfg := hw.Default()
+	run := func(noc, hbm float64) int64 {
+		w, err := models.ByName("skipnet", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(cfg, w.Graph, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sched.Schedule(cfg, w.Graph, sched.Adyna(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetCapability("", noc, hbm); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(w.GenTrace(workload.NewSource(11), 4, 16)); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().Cycles
+	}
+	base := run(1, 1)
+	if slowed := run(1, 0.1); slowed <= base {
+		t.Errorf("HBM at 10%% not slower: %d vs %d", slowed, base)
+	}
+	if slowed := run(0.05, 1); slowed <= base {
+		t.Errorf("NoC at 5%% not slower: %d vs %d", slowed, base)
+	}
+	if restored := run(1, 1); restored != base {
+		t.Errorf("restored machine differs from healthy: %d vs %d", restored, base)
+	}
+}

@@ -70,6 +70,11 @@ type Machine struct {
 
 	plan *sched.Plan
 	dags map[int]*segDAG
+	// planCfg snapshots the config the current plan was validated against.
+	// Plan regions index that config's live-tile enumeration; if faults strike
+	// after the load, the current m.cfg mask diverges from planCfg's and the
+	// frozen plan runs degraded (see prepareJob) until a new plan is loaded.
+	planCfg hw.Config
 	// batchDone records, for every batch of every Run window, the simulated
 	// time its final-segment job completed and the window start time —
 	// the machine's per-batch latency record.
@@ -108,6 +113,7 @@ func New(cfg hw.Config, g *graph.Graph, opts Options) (*Machine, error) {
 	}
 	return &Machine{
 		cfg:        cfg,
+		planCfg:    cfg,
 		g:          g,
 		opts:       opts,
 		env:        env,
@@ -176,8 +182,60 @@ func (m *Machine) LoadPlan(p *sched.Plan) error {
 	}
 	m.plan = p
 	m.dags = dags
+	m.planCfg = m.cfg
 	clear(m.entityTok)
 	return nil
+}
+
+// SetCapability applies the chip's live fault state between batches: failed
+// tiles leave service, and the NoC/HBM substrates re-rate to the given
+// fractions of their healthy bandwidth (1 restores full speed). The loaded
+// plan keeps running — entities whose tiles failed migrate their work onto
+// the region's survivors at a proportional slowdown — until the caller loads
+// a plan scheduled for the reduced chip. Fails if the mask would leave no
+// surviving tiles.
+func (m *Machine) SetCapability(failed hw.TileMask, nocFactor, hbmFactor float64) error {
+	cfg := m.cfg
+	cfg.FailedTiles = failed
+	cfg.NoCDerate = normFactor(nocFactor)
+	cfg.HBMDerate = normFactor(hbmFactor)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.noc.Derate(nocFactor)
+	m.hbm.Derate(hbmFactor)
+	return nil
+}
+
+// normFactor maps "healthy" factors onto the hw.Config zero value so a chip
+// restored to full capacity compares equal to one that never degraded.
+func normFactor(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		return 0
+	}
+	return f
+}
+
+// physTile translates a live tile index of the loaded plan's enumeration to
+// its physical grid position (identity on a healthy plan-time chip).
+func (m *Machine) physTile(live int) int {
+	if m.planCfg.FailedTiles.Empty() {
+		return live
+	}
+	return m.planCfg.PhysicalTile(live)
+}
+
+// survivingTiles counts how many of a plan region's physical tiles are still
+// in service under the current fault mask.
+func (m *Machine) survivingTiles(region [2]int) int {
+	n := 0
+	for t := region[0]; t < region[0]+region[1]; t++ {
+		if !m.cfg.TileFailed(m.physTile(t)) {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns the accumulated statistics. HBM and NoC counters are read
@@ -429,6 +487,19 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 		if err != nil {
 			return nil, err
 		}
+		// Frozen-plan degradation: tiles that failed after this plan was
+		// loaded produce no work, so the entity's chunks fold onto the
+		// region's survivors at a proportional slowdown. A fully failed
+		// region limps along on one stand-in tile (the work has to complete
+		// somewhere for the pipeline to drain).
+		if m.cfg.FailedTiles != m.planCfg.FailedTiles {
+			if s := m.survivingTiles(op.Region); s < op.Region[1] {
+				if s < 1 {
+					s = 1
+				}
+				ev.Cycles = (ev.Cycles*int64(op.Region[1]) + int64(s) - 1) / int64(s)
+			}
+		}
 		je := &entArr[i]
 		*je = jobEntity{
 			lead:    lead,
@@ -562,7 +633,7 @@ func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 		m.stats.PEBusyTileCycles += je.eval.Cycles * int64(je.opt.Tiles)
 		m.stats.KernelSelections++
 	}
-	src := noc.Centroid(je.plan.Region)
+	src := m.physTile(noc.Centroid(je.plan.Region))
 
 	// The network interface runs as its own engine (Figure 7): it forwards
 	// finished chunks — probe/ack handshake, then the payload over the NoC —
@@ -581,7 +652,7 @@ func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 			sendQ.Get(sp)
 			for _, e := range je.outputs {
 				toPlan := j.seg.Plans[e.to]
-				dst := noc.Centroid(toPlan.Region)
+				dst := m.physTile(noc.Centroid(toPlan.Region))
 				if n := chunkOf(e.bytes, c); n > 0 {
 					ways := je.plan.Region[1]
 					if w := toPlan.Region[1]; w < ways {

@@ -40,6 +40,18 @@ type Config struct {
 	// TileShareFactor is how much tile sharing multiplies the kernel count
 	// (paper: 2 operators x 3 allocation ratios = 6).
 	TileShareFactor int
+
+	// Live capability state (degraded-mode serving, internal/faults). The
+	// zero values describe a healthy chip, so configurations that never see a
+	// fault behave exactly as before.
+	//
+	// FailedTiles masks tiles that currently produce no work. Schedules are
+	// planned over the surviving tiles (LiveTiles / PhysicalTile).
+	FailedTiles TileMask
+	// NoCDerate and HBMDerate multiply the respective healthy bandwidths to
+	// model degraded interconnect links and lost HBM stacks. Zero means
+	// unset (healthy, factor 1); otherwise the value must lie in (0, 1].
+	NoCDerate, HBMDerate float64
 }
 
 // Default returns the Table III configuration of the paper.
@@ -82,6 +94,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hw: word size %d must be positive", c.BytesPerWord)
 	case c.KernelBudgetBytes < c.KernelMetaBytes:
 		return fmt.Errorf("hw: kernel budget %d B cannot hold a single %d B kernel", c.KernelBudgetBytes, c.KernelMetaBytes)
+	case c.NoCDerate < 0 || c.NoCDerate > 1:
+		return fmt.Errorf("hw: NoC derate %v outside (0,1]", c.NoCDerate)
+	case c.HBMDerate < 0 || c.HBMDerate > 1:
+		return fmt.Errorf("hw: HBM derate %v outside (0,1]", c.HBMDerate)
+	}
+	if max := c.FailedTiles.Max(); max >= c.Tiles() {
+		return fmt.Errorf("hw: fault mask marks tile %d, chip has %d tiles", max, c.Tiles())
+	}
+	if c.LiveTiles() == 0 {
+		return fmt.Errorf("hw: fault mask leaves no surviving tiles on the %d-tile chip", c.Tiles())
 	}
 	return nil
 }
@@ -102,9 +124,9 @@ func (c Config) PeakTFLOPs() float64 {
 }
 
 // HBMBytesPerCycle returns the aggregate off-chip bandwidth in bytes per
-// accelerator cycle.
+// accelerator cycle, after any live HBM derate.
 func (c Config) HBMBytesPerCycle() float64 {
-	return c.HBMTotalGBps / c.ClockGHz
+	return c.HBMTotalGBps * c.hbmFactor() / c.ClockGHz
 }
 
 // HBMStackBytesPerCycle returns the per-stack bandwidth in bytes per cycle.
@@ -112,9 +134,10 @@ func (c Config) HBMStackBytesPerCycle() float64 {
 	return c.HBMBytesPerCycle() / float64(c.HBMStacks)
 }
 
-// NoCBytesPerCycle returns a tile's NoC interface bandwidth in bytes/cycle.
+// NoCBytesPerCycle returns a tile's NoC interface bandwidth in bytes/cycle,
+// after any live link derate.
 func (c Config) NoCBytesPerCycle() float64 {
-	return c.NoCPerTileGBps / c.ClockGHz
+	return c.NoCPerTileGBps * c.nocFactor() / c.ClockGHz
 }
 
 // TotalScratchpadBytes returns the chip-wide scratchpad capacity

@@ -1,0 +1,140 @@
+package hw
+
+import "testing"
+
+func TestTileMaskBasics(t *testing.T) {
+	var zero TileMask
+	if !zero.Empty() || zero.Count() != 0 || zero.Max() != -1 || zero.Tiles() != nil {
+		t.Fatalf("zero mask not empty: %q", zero)
+	}
+	m := NewTileMask(3, 17, 3, 0)
+	if m.Empty() || m.Count() != 3 {
+		t.Fatalf("mask %q count %d, want 3 (duplicates collapse)", m, m.Count())
+	}
+	for _, tile := range []int{0, 3, 17} {
+		if !m.Failed(tile) {
+			t.Errorf("tile %d not failed in %v", tile, m)
+		}
+	}
+	for _, tile := range []int{1, 16, 18, 1000, -1} {
+		if m.Failed(tile) {
+			t.Errorf("tile %d failed in %v", tile, m)
+		}
+	}
+	if m.Max() != 17 {
+		t.Errorf("max %d, want 17", m.Max())
+	}
+	if got := m.Tiles(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 17 {
+		t.Errorf("tiles %v, want [0 3 17]", got)
+	}
+	if s := m.String(); s != "{0,3,17}" {
+		t.Errorf("String %q", s)
+	}
+}
+
+// TestTileMaskCanonical: masks are comparable config fields, so equal tile
+// sets must compare equal however they were built.
+func TestTileMaskCanonical(t *testing.T) {
+	a := NewTileMask(1, 9)
+	b := NewTileMask(9, 1)
+	if a != b {
+		t.Fatalf("order changed the mask: %q vs %q", a, b)
+	}
+	// Or with an empty mask must not grow trailing zero bytes.
+	if c := a.Or(NewTileMask()); c != a {
+		t.Fatalf("or with empty changed the mask: %q vs %q", c, a)
+	}
+	if c := NewTileMask(1).Or(NewTileMask(9)); c != a {
+		t.Fatalf("or of parts %q != built whole %q", c, a)
+	}
+	if NewTileMask() != zeroMaskLiteral() {
+		t.Fatal("empty built mask != zero value")
+	}
+}
+
+func zeroMaskLiteral() TileMask { return "" }
+
+func TestConfigLiveTiles(t *testing.T) {
+	cfg := Default()
+	if cfg.LiveTiles() != cfg.Tiles() {
+		t.Fatalf("healthy live %d != total %d", cfg.LiveTiles(), cfg.Tiles())
+	}
+	cfg.FailedTiles = NewTileMask(0, 1, 2, 143)
+	if got := cfg.LiveTiles(); got != cfg.Tiles()-4 {
+		t.Fatalf("live %d, want %d", got, cfg.Tiles()-4)
+	}
+	if !cfg.TileFailed(0) || cfg.TileFailed(3) {
+		t.Fatal("TileFailed wrong")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("masked config invalid: %v", err)
+	}
+}
+
+// TestPhysicalTile: the live enumeration skips failed tiles; identity on a
+// healthy chip.
+func TestPhysicalTile(t *testing.T) {
+	cfg := Default()
+	for _, live := range []int{0, 7, cfg.Tiles() - 1} {
+		if got := cfg.PhysicalTile(live); got != live {
+			t.Fatalf("healthy PhysicalTile(%d) = %d", live, got)
+		}
+	}
+	cfg.FailedTiles = NewTileMask(0, 2, 3)
+	want := map[int]int{0: 1, 1: 4, 2: 5}
+	for live, phys := range want {
+		if got := cfg.PhysicalTile(live); got != phys {
+			t.Errorf("PhysicalTile(%d) = %d, want %d", live, got, phys)
+		}
+	}
+	// Out-of-range live indices clamp to the last physical tile.
+	if got := cfg.PhysicalTile(cfg.Tiles()); got != cfg.Tiles()-1 {
+		t.Errorf("clamp gave %d", got)
+	}
+}
+
+func TestValidateCapabilityFields(t *testing.T) {
+	cfg := Default()
+	cfg.NoCDerate = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("NoC derate 1.5 accepted")
+	}
+	cfg = Default()
+	cfg.HBMDerate = -0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("HBM derate -0.5 accepted")
+	}
+	cfg = Default()
+	cfg.FailedTiles = NewTileMask(cfg.Tiles())
+	if err := cfg.Validate(); err == nil {
+		t.Error("mask past the chip accepted")
+	}
+	cfg = Default()
+	cfg.FailedTiles = NewTileMask(tileSeq(cfg.Tiles())...)
+	if err := cfg.Validate(); err == nil {
+		t.Error("all-dead chip accepted")
+	}
+}
+
+func tileSeq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestDeratedBandwidth: the plan-time cost model sees the derated bandwidth;
+// the zero value means healthy.
+func TestDeratedBandwidth(t *testing.T) {
+	cfg := Default()
+	baseHBM, baseNoC := cfg.HBMBytesPerCycle(), cfg.NoCBytesPerCycle()
+	cfg.HBMDerate = 0.5
+	cfg.NoCDerate = 0.25
+	if got := cfg.HBMBytesPerCycle(); got != baseHBM*0.5 {
+		t.Errorf("derated HBM %v, want %v", got, baseHBM*0.5)
+	}
+	if got := cfg.NoCBytesPerCycle(); got != baseNoC*0.25 {
+		t.Errorf("derated NoC %v, want %v", got, baseNoC*0.25)
+	}
+}

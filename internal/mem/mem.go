@@ -11,21 +11,33 @@ import (
 
 // HBM is the off-chip memory model.
 type HBM struct {
-	env    *sim.Env
-	stacks []*sim.Server
-	next   int
+	env      *sim.Env
+	stacks   []*sim.Server
+	baseRate float64 // per-stack bytes/cycle at construction (healthy chip)
+	next     int
 	// Accounting.
 	readBytes, writeBytes int64
 }
 
 // New builds the HBM model for cfg.
 func New(env *sim.Env, cfg hw.Config) *HBM {
-	h := &HBM{env: env}
-	rate := cfg.HBMStackBytesPerCycle()
+	h := &HBM{env: env, baseRate: cfg.HBMStackBytesPerCycle()}
 	for i := 0; i < cfg.HBMStacks; i++ {
-		h.stacks = append(h.stacks, sim.NewServer(env, rate))
+		h.stacks = append(h.stacks, sim.NewServer(env, h.baseRate))
 	}
 	return h
+}
+
+// Derate scales every stack's bandwidth to factor times the construction
+// rate (fault injection: lost stacks or a degraded PHY). factor 1 restores
+// full bandwidth; requests already in flight keep their completion times.
+func (h *HBM) Derate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	for _, s := range h.stacks {
+		s.SetRate(h.baseRate * factor)
+	}
 }
 
 // split divides a request across all stacks (address interleaving) and

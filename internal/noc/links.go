@@ -30,7 +30,7 @@ func (n *NoC) link(id linkID) *sim.Server {
 	}
 	s, ok := n.links[id]
 	if !ok {
-		s = sim.NewServer(n.env, n.cfg.NoCBytesPerCycle())
+		s = sim.NewServer(n.env, n.rate)
 		n.links[id] = s
 	}
 	return s

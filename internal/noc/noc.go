@@ -19,6 +19,9 @@ type NoC struct {
 	// links holds the unidirectional torus links, created lazily as X-Y
 	// routed transfers touch them (see links.go).
 	links map[linkID]*sim.Server
+	// baseRate is the healthy per-port bandwidth; rate is the current
+	// (possibly derated) one, applied to lazily created links too.
+	baseRate, rate float64
 	// Accounting.
 	byteHops  int64
 	transfers int64
@@ -27,13 +30,30 @@ type NoC struct {
 
 // New builds the NoC model for cfg.
 func New(env *sim.Env, cfg hw.Config) *NoC {
-	n := &NoC{env: env, cfg: cfg}
-	rate := cfg.NoCBytesPerCycle()
+	n := &NoC{env: env, cfg: cfg, baseRate: cfg.NoCBytesPerCycle()}
+	n.rate = n.baseRate
 	for i := 0; i < cfg.Tiles(); i++ {
-		n.inject = append(n.inject, sim.NewServer(env, rate))
-		n.eject = append(n.eject, sim.NewServer(env, rate))
+		n.inject = append(n.inject, sim.NewServer(env, n.rate))
+		n.eject = append(n.eject, sim.NewServer(env, n.rate))
 	}
 	return n
+}
+
+// Derate scales every port and link to factor times the construction
+// bandwidth (fault injection: degraded torus links). factor 1 restores the
+// healthy rate; links created after the call inherit the derated rate.
+func (n *NoC) Derate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	n.rate = n.baseRate * factor
+	for i := range n.inject {
+		n.inject[i].SetRate(n.rate)
+		n.eject[i].SetRate(n.rate)
+	}
+	for _, l := range n.links {
+		l.SetRate(n.rate)
+	}
 }
 
 // coord returns the (x, y) grid position of a linear tile index.

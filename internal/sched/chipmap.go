@@ -46,13 +46,17 @@ func (p *Plan) ChipMap(cfg hw.Config, g *graph.Graph, segment int) (string, erro
 		}
 		e.code = c
 	}
+	// Regions index the live (surviving) tile enumeration; translate through
+	// the fault mask to physical grid positions. Failed tiles render as 'x'.
 	byTile := make([]string, cfg.Tiles())
 	for _, e := range ents {
 		if e.plan.GroupLeader != graph.None && e.plan.GroupLeader != e.lead {
 			continue // grouped follower shares the leader's tiles
 		}
-		for t := e.plan.Region[0]; t < e.plan.Region[0]+e.plan.Region[1] && t < len(byTile); t++ {
-			byTile[t] = e.code
+		for t := e.plan.Region[0]; t < e.plan.Region[0]+e.plan.Region[1] && t < cfg.LiveTiles(); t++ {
+			if pt := cfg.PhysicalTile(t); pt < len(byTile) {
+				byTile[pt] = e.code
+			}
 		}
 	}
 
@@ -61,7 +65,11 @@ func (p *Plan) ChipMap(cfg hw.Config, g *graph.Graph, segment int) (string, erro
 		segment, g.Name, len(ents), seg.TotalTiles(), cfg.Tiles())
 	for y := 0; y < cfg.TilesY; y++ {
 		for x := 0; x < cfg.TilesX; x++ {
-			c := byTile[y*cfg.TilesX+x]
+			tile := y*cfg.TilesX + x
+			c := byTile[tile]
+			if cfg.TileFailed(tile) {
+				c = "x"
+			}
 			if c == "" {
 				c = "."
 			}

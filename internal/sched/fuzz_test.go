@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/models"
+)
+
+// FuzzPlanRoundTrip checks the plan loader's contract on arbitrary bytes —
+// the "load a shipped plan artifact" surface. DecodePlan must either error
+// or return a plan that (a) never panics Validate, against the healthy chip
+// or one with a fault mask, and (b) re-encodes to a fixed point: encoding
+// the decoded plan and decoding it again reproduces the same bytes.
+func FuzzPlanRoundTrip(f *testing.F) {
+	w, err := models.ByName("skipnet", 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := w.Graph
+	// Genuine encoded plans as primary seeds: one per policy family.
+	for _, pol := range []Policy{Adyna(), MTile(), FullKernelIdeal()} {
+		plan, err := Schedule(hw.Default(), g, pol, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := plan.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policy":{},"segments":[]}`))
+	f.Add([]byte(`{"segments":[{"ops":[999]}]}`))
+	f.Add([]byte(`{"segments":[{"ops":[0],"plans":[{"lead":-2,"options":[{"tiles":1}]}]}]}`))
+	f.Add([]byte(`{"segments":[{"entity_of":{"5000":0}}]}`))
+	f.Add([]byte(`{"segments":[{"plans":[{"lead":0,"region":[-4,900],"options":[{"tiles":0}]}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	healthy := hw.Default()
+	masked := hw.Default()
+	masked.FailedTiles = hw.NewTileMask(0, 1, 2, 3, 40, 41, 42, 43)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		p, err := DecodePlan(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("DecodePlan returned nil plan and nil error")
+		}
+		// Validation may reject, but must not panic — including against a
+		// chip whose fault mask leaves fewer live tiles than the plan wants.
+		_ = p.Validate(healthy, g)
+		_ = p.Validate(masked, g)
+		// Fixed point: once normalized by a decode, encoding is stable.
+		var b1 bytes.Buffer
+		if err := p.Encode(&b1); err != nil {
+			t.Fatalf("re-encoding decoded plan: %v", err)
+		}
+		p2, err := DecodePlan(bytes.NewReader(b1.Bytes()), g)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := p2.Encode(&b2); err != nil {
+			t.Fatalf("re-encoding twice-decoded plan: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:  %s\nsecond: %s", b1.Bytes(), b2.Bytes())
+		}
+	})
+}

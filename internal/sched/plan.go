@@ -187,14 +187,22 @@ func (s *Segment) TotalTiles() int {
 // and hardware: allocations fit the chip, shared pairs are symmetric, kernel
 // stores respect the on-chip budget.
 func (p *Plan) Validate(cfg hw.Config, g *graph.Graph) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("sched: target config: %w", err)
+	}
 	if err := p.Policy.Validate(); err != nil {
 		return err
 	}
 	seen := map[graph.OpID]bool{}
+	// Allocations must fit the tiles that actually survive cfg's fault mask:
+	// regions are [start, count] in the live (compacted) tile enumeration, so
+	// a plan computed for a healthy chip fails validation against a config
+	// whose mask leaves fewer tiles than the plan occupies.
+	live := cfg.LiveTiles()
 	for _, seg := range p.Segments {
-		if seg.TotalTiles() > cfg.Tiles() {
-			return fmt.Errorf("sched: segment %d uses %d tiles, chip has %d",
-				seg.Index, seg.TotalTiles(), cfg.Tiles())
+		if seg.TotalTiles() > live {
+			return fmt.Errorf("sched: segment %d uses %d tiles, chip has %d live",
+				seg.Index, seg.TotalTiles(), live)
 		}
 		for _, id := range seg.Ops {
 			if seen[id] {
@@ -210,6 +218,10 @@ func (p *Plan) Validate(cfg hw.Config, g *graph.Graph) error {
 				if o.Tiles < 1 {
 					return fmt.Errorf("sched: entity %s option with %d tiles", g.Op(lead).Name, o.Tiles)
 				}
+			}
+			if op.Region[0] < 0 || op.Region[1] < 1 || op.Region[0]+op.Region[1] > live {
+				return fmt.Errorf("sched: entity %s region [%d,%d) outside the %d live tiles",
+					g.Op(lead).Name, op.Region[0], op.Region[0]+op.Region[1], live)
 			}
 			if op.Partner != graph.None {
 				q, ok := seg.Plans[op.Partner]

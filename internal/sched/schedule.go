@@ -125,7 +125,7 @@ func segment(cfg hw.Config, g *graph.Graph, ents map[graph.OpID]*entity, order [
 	for _, lead := range order {
 		e := ents[lead]
 		need := entityBytes(g, e)
-		if len(cur) > 0 && (len(cur)+1 > cfg.Tiles() || curBytes+need > budget) {
+		if len(cur) > 0 && (len(cur)+1 > cfg.LiveTiles() || curBytes+need > budget) {
 			segs = append(segs, cur)
 			cur, curBytes = nil, 0
 		}
@@ -385,7 +385,7 @@ func allocateTiles(cfg hw.Config, leads []graph.OpID, work map[graph.OpID]float6
 		}
 		units = append(units, lead)
 	}
-	total := cfg.Tiles()
+	total := cfg.LiveTiles()
 	alloc := map[graph.OpID]int{}
 	if len(units) == 0 {
 		return alloc

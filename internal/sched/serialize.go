@@ -131,14 +131,45 @@ func DecodePlan(r io.Reader, g *graph.Graph) (*Plan, error) {
 			}
 			seg.Ops = append(seg.Ops, graph.OpID(id))
 		}
+		// Every op reference must land inside the graph: a plan for a
+		// different (or corrupted) graph would otherwise panic the first time
+		// the simulator dereferences it. Partner and GroupLeader may be
+		// graph.None.
+		inGraph := func(id int) error {
+			if id < 0 || id >= len(g.Ops) {
+				return fmt.Errorf("sched: plan references op %d outside graph", id)
+			}
+			return nil
+		}
+		inGraphOrNone := func(id int) error {
+			if id == int(graph.None) {
+				return nil
+			}
+			return inGraph(id)
+		}
 		for opStr, lead := range sj.EntityOf {
 			var opID int
 			if _, err := fmt.Sscanf(opStr, "%d", &opID); err != nil {
 				return nil, fmt.Errorf("sched: bad entity key %q", opStr)
 			}
+			if err := inGraph(opID); err != nil {
+				return nil, err
+			}
+			if err := inGraph(lead); err != nil {
+				return nil, err
+			}
 			seg.EntityOf[graph.OpID(opID)] = graph.OpID(lead)
 		}
 		for _, pj := range sj.Plans {
+			if err := inGraph(pj.Lead); err != nil {
+				return nil, err
+			}
+			if err := inGraphOrNone(pj.Partner); err != nil {
+				return nil, err
+			}
+			if err := inGraphOrNone(pj.GroupLeader); err != nil {
+				return nil, err
+			}
 			op := &OpPlan{
 				Lead:        graph.OpID(pj.Lead),
 				BaseTiles:   pj.BaseTiles,
@@ -149,6 +180,9 @@ func DecodePlan(r io.Reader, g *graph.Graph) (*Plan, error) {
 				Values:      pj.Values,
 			}
 			for _, f := range pj.Fused {
+				if err := inGraph(f); err != nil {
+					return nil, err
+				}
 				op.Fused = append(op.Fused, graph.OpID(f))
 			}
 			for _, oj := range pj.Options {

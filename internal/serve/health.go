@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Health detection: the serving-side half of the fault story. The machine
+// executes on degraded hardware the moment a fault strikes (capability is
+// applied between batches); what the server adds is the *response* — when
+// re-scheduling is enabled, a capability change triggers an emergency
+// re-plan over the surviving tiles, computed host-side off the request hot
+// path exactly like a drift re-schedule. Only the plan swap (pipeline drain
+// plus kernel-store reload) lands on the machine clock. A frozen-plan server
+// (Reschedule off) still suffers the faults — failed tiles fold their work
+// onto region survivors — it just never adapts, which is the baseline the
+// -compare mode measures against.
+
+// liveHW returns the hardware config the scheduler should plan for right
+// now: the configured chip with the current fault capability folded in.
+func (s *Server) liveHW() hw.Config {
+	if s.health == nil {
+		return s.cfg.RC.HW
+	}
+	return s.health.Capability().Apply(s.cfg.RC.HW)
+}
+
+// applyFaults folds the fault schedule into the machine at time now. On a
+// capability change the hardware is updated immediately; with re-scheduling
+// enabled a new plan for the surviving tiles is swapped in as well.
+func (s *Server) applyFaults(now int64) error {
+	if s.health == nil {
+		return nil
+	}
+	cap, changed := s.health.At(now)
+	if !changed {
+		return nil
+	}
+	s.rep.FaultEvents++
+	if err := s.setup.M.SetCapability(cap.Failed, cap.NoC, cap.HBM); err != nil {
+		return err
+	}
+	if s.cfg.Reschedule {
+		return s.healthReschedule()
+	}
+	return nil
+}
+
+// healthReschedule is the emergency re-plan after a capability change: a
+// fresh schedule over the surviving tiles at the degraded bandwidths, built
+// from the live profile. Mirrors the drift path's accounting — the swap cost
+// is charged to the machine clock, the profile window restarts, and the
+// drift reference rebases on the profile the new plan was built from.
+func (s *Server) healthReschedule() error {
+	m := s.setup.M
+	plan, err := sched.Schedule(s.liveHW(), s.setup.W.Graph, s.setup.Policy, m.Profiler())
+	if err != nil {
+		return err
+	}
+	before := m.Stats().ReconfigCycles
+	if err := m.LoadPlan(plan); err != nil {
+		return err
+	}
+	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
+	m.Profiler().Reset()
+	s.det.Rebase()
+	s.rep.HealthReschedules++
+	s.sinceResched = 0
+	return nil
+}
+
+// idleTo advances the machine clock to t, stopping early at the next fault
+// boundary (strike or repair) so capability changes are observed at their
+// scheduled time even across long idle gaps.
+func (s *Server) idleTo(t int64) {
+	if s.health != nil {
+		if nc, ok := s.health.NextChange(int64(s.setup.M.Now())); ok && nc < t {
+			t = nc
+		}
+	}
+	s.setup.M.AdvanceTo(sim.Time(t))
+}
+
+// healthState builds the fault tracker for a config (nil when no faults are
+// scheduled, which keeps the fault-free hot path untouched).
+func healthState(sched *faults.Schedule) *faults.State {
+	if sched.Empty() {
+		return nil
+	}
+	return faults.NewState(sched)
+}

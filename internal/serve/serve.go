@@ -20,9 +20,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -76,7 +76,15 @@ type Config struct {
 	// shed (default 8x MaxBatch).
 	QueueCapSamples int
 
-	// Reschedule enables the drift-triggered re-scheduler.
+	// Faults optionally injects a hardware fault schedule (nil or empty: the
+	// chip stays healthy and the serving path is byte-identical to a server
+	// built without one). Capability changes apply between batches; with
+	// Reschedule enabled they additionally trigger an emergency re-plan over
+	// the surviving tiles (see health.go).
+	Faults *faults.Schedule
+
+	// Reschedule enables the drift-triggered re-scheduler and, when a fault
+	// schedule is present, fault-aware re-scheduling.
 	Reschedule bool
 	// DriftThreshold is the profile divergence (mean absolute per-branch
 	// difference, see detector) that triggers a re-schedule (default 0.06).
@@ -137,6 +145,10 @@ type Report struct {
 
 	Requests, Served, Missed, Shed int
 	Batches, Reschedules           int
+	// FaultEvents counts capability changes applied during the stream;
+	// HealthReschedules counts the emergency re-plans they triggered (both
+	// zero without a fault schedule).
+	FaultEvents, HealthReschedules int
 	// ReconfigCycles is the machine time spent in drift-triggered plan swaps
 	// (pipeline drain + kernel-store reload).
 	ReconfigCycles int64
@@ -193,6 +205,10 @@ func (r *Report) String() string {
 	t.AddRow("shed", fmt.Sprintf("%d (%.1f%%)", r.Shed, r.ShedRate()*100))
 	t.AddRow("batches", fmt.Sprint(r.Batches))
 	t.AddRow("reschedules", fmt.Sprint(r.Reschedules))
+	if r.FaultEvents > 0 || r.HealthReschedules > 0 {
+		t.AddRow("fault events", fmt.Sprint(r.FaultEvents))
+		t.AddRow("health reschedules", fmt.Sprint(r.HealthReschedules))
+	}
 	t.AddRow("reconfig cycles", fmt.Sprint(r.ReconfigCycles))
 	t.AddRow("max divergence", metrics.F(r.MaxDivergence, 3))
 	t.AddRow("latency p50 (cycles)", metrics.F(r.Latency.P50, 0))
@@ -207,9 +223,10 @@ func (r *Report) String() string {
 // state. Not safe for concurrent use — the serving loop is a deterministic
 // single-threaded discrete-event simulation.
 type Server struct {
-	cfg   Config
-	setup *core.Setup
-	det   *detector
+	cfg    Config
+	setup  *core.Setup
+	det    *detector
+	health *faults.State // nil without a fault schedule
 
 	queue         []Request
 	queuedSamples int
@@ -221,14 +238,18 @@ type Server struct {
 // plan scheduled from it and loaded, drift reference snapshotted.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
+	if err := cfg.Faults.Validate(cfg.RC.HW); err != nil {
+		return nil, err
+	}
 	setup, err := core.Bringup(cfg.Design, cfg.Model, cfg.RC, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
-		cfg:   cfg,
-		setup: setup,
-		det:   newDetector(setup.W.Graph, setup.M.Profiler()),
+		cfg:    cfg,
+		setup:  setup,
+		det:    newDetector(setup.W.Graph, setup.M.Profiler()),
+		health: healthState(cfg.Faults),
 	}, nil
 }
 
@@ -253,13 +274,19 @@ func (s *Server) Serve(src Source) (*Report, error) {
 	}
 	for {
 		now := int64(m.Now())
+		// Fold any fault events that struck (or repaired) by now into the
+		// machine before more work is placed on it.
+		if err := s.applyFaults(now); err != nil {
+			return nil, err
+		}
 		admit(now)
 		if len(s.queue) == 0 {
 			if !more {
 				break
 			}
-			// Idle: jump the machine clock to the next arrival.
-			m.AdvanceTo(sim.Time(next.Arrival))
+			// Idle: jump the machine clock to the next arrival (stopping at
+			// fault boundaries so capability changes land on time).
+			s.idleTo(next.Arrival)
 			continue
 		}
 		// Dual batching policy: fire when the batch-size cap is reached or
@@ -269,13 +296,16 @@ func (s *Server) Serve(src Source) (*Report, error) {
 		full := s.queuedSamples >= s.cfg.MaxBatch || s.queue[0].Routing != nil
 		if !full && now < fireAt {
 			if more && next.Arrival < fireAt {
-				m.AdvanceTo(sim.Time(next.Arrival))
+				s.idleTo(next.Arrival)
 				continue
 			}
 			if more {
 				// The next arrival lands past the wait deadline: idle to the
 				// deadline and fire the partial batch.
-				m.AdvanceTo(sim.Time(fireAt))
+				s.idleTo(fireAt)
+				if int64(m.Now()) < fireAt {
+					continue // stopped at a fault boundary first
+				}
 			}
 			// Without further arrivals the partial batch flushes immediately.
 		}
@@ -392,7 +422,7 @@ func (s *Server) maybeReschedule() error {
 		return nil
 	}
 	m := s.setup.M
-	plan, err := sched.Schedule(s.cfg.RC.HW, s.setup.W.Graph, s.setup.Policy, m.Profiler())
+	plan, err := sched.Schedule(s.liveHW(), s.setup.W.Graph, s.setup.Policy, m.Profiler())
 	if err != nil {
 		return err
 	}

@@ -227,6 +227,20 @@ func NewServer(env *Env, bytesPerCycle float64) *Server {
 	return &Server{env: env, bytesPerCyc: bytesPerCycle}
 }
 
+// SetRate changes the server's drain rate. Requests already booked keep
+// their completion times (they were admitted at the old rate); only future
+// requests are served at the new rate. The fault injector uses this to model
+// degraded links and lost memory stacks mid-simulation.
+func (s *Server) SetRate(bytesPerCycle float64) {
+	if bytesPerCycle <= 0 {
+		panic("sim: server rate must be positive")
+	}
+	s.bytesPerCyc = bytesPerCycle
+}
+
+// Rate returns the current drain rate in bytes per cycle.
+func (s *Server) Rate() float64 { return s.bytesPerCyc }
+
 // ServiceTime returns the pure service time for a request of n bytes,
 // excluding queueing.
 func (s *Server) ServiceTime(n int64) Time {

@@ -26,12 +26,12 @@ import (
 
 func main() {
 	var (
-		model   = flag.String("model", "skipnet", "workload (see -list)")
-		design  = flag.String("design", "adyna", "design: gpu, mtile, mtenant, static, full, adyna")
-		batch   = flag.Int("batch", models.DefaultBatchSize, "batch size in samples")
+		model   = flag.String("model", "skipnet", "workload model (see -list)")
+		design  = flag.String("design", "adyna", "machine design: gpu, mtile, mtenant, static, full, adyna, realtime")
+		batch   = flag.Int("batch", models.DefaultBatchSize, "batch size (samples)")
 		batches = flag.Int("batches", 80, "measured batches")
-		seed    = flag.Int64("seed", 1, "trace seed")
-		list    = flag.Bool("list", false, "list workloads and exit")
+		seed    = flag.Int64("seed", 1, "workload trace seed")
+		list    = flag.Bool("list", false, "list workloads and designs, then exit")
 		chipmap = flag.Bool("map", false, "print the scheduled chip map for each segment and exit")
 		roof    = flag.Bool("roofline", false, "print the model's roofline analysis and exit")
 	)
@@ -39,11 +39,11 @@ func main() {
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(models.Names(), ", "), "(plus: adavit)")
-		fmt.Println("designs:   gpu, mtile, mtenant, static, full, adyna")
+		fmt.Println("designs:   gpu, mtile, mtenant, static, full, adyna, realtime")
 		return
 	}
 
-	d, err := parseDesign(*design)
+	d, err := core.ParseDesign(*design)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adyna:", err)
 		os.Exit(1)
@@ -200,22 +200,4 @@ func printRoofline(model string, rc core.RunConfig) error {
 	fmt.Printf("%.0f%% of worst-case FLOPs sit in compute-bound operators (%.1f TFLOPs/batch total)\n",
 		share*100, float64(total)/1e12)
 	return nil
-}
-
-func parseDesign(s string) (core.Design, error) {
-	switch strings.ToLower(s) {
-	case "gpu":
-		return core.DesignGPU, nil
-	case "mtile", "m-tile":
-		return core.DesignMTile, nil
-	case "mtenant", "m-tenant":
-		return core.DesignMTenant, nil
-	case "static", "adyna-static":
-		return core.DesignAdynaStatic, nil
-	case "full", "full-kernel":
-		return core.DesignFullKernel, nil
-	case "adyna":
-		return core.DesignAdyna, nil
-	}
-	return "", fmt.Errorf("unknown design %q", s)
 }

@@ -9,6 +9,7 @@
 //	experiments -exp fig9 -quick         # reduced scale
 //	experiments -exp fig13 -batches 100  # override trace length
 //	experiments -exp fig9 -parallel=false  # force the sequential path
+//	experiments -exp fig9 -quick -trace out.json  # Perfetto timeline of every run
 //
 // Independent simulations fan out across all CPUs by default (the results
 // are bit-identical to a sequential run; see internal/runner).
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,12 +37,13 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment to run (table3,table4,fig6,fig9,fig10,fig11,fig12,fig13,reconfig,budget,sampling,hybrid,dse,latency,all)")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast pass")
 		batches  = flag.Int("batches", 0, "override measured batches")
-		batch    = flag.Int("batch", 0, "override batch size")
-		seed     = flag.Int64("seed", 1, "trace seed")
+		batch    = flag.Int("batch", 0, "override batch size (samples)")
+		seed     = flag.Int64("seed", 1, "workload trace seed")
 		parallel = flag.Bool("parallel", true, "fan independent simulations out across all CPUs (results are identical either way)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU; implies -parallel)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of every simulation to this file")
 	)
 	flag.Parse()
 
@@ -87,6 +90,9 @@ func main() {
 	if !*parallel && *workers == 0 {
 		opt.Workers = runner.Serial
 	}
+	if *traceOut != "" {
+		opt.RC.Trace = telemetry.NewTrace()
+	}
 
 	if err := run(strings.ToLower(*exp), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -96,6 +102,26 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opt.RC.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the telemetry collected across every simulation of the
+// run as one Perfetto-loadable JSON file (one process per simulation).
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, opt experiments.Options) error {

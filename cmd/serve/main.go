@@ -18,10 +18,18 @@
 //	serve -model moe -faults 'fail@2e6:tiles=0-35'
 //	serve -model moe -faults faults.json -compare
 //
+// Observability: -trace writes a Chrome-trace/Perfetto JSON timeline of the
+// whole run (open in https://ui.perfetto.dev; see internal/telemetry), and
+// -stats-json dumps the final counters/gauges snapshot as JSON:
+//
+//	serve -model moe -trace out.json
+//	serve -model moe -compare -stats-json -
+//
 // All times are machine cycles (the simulated accelerator clock).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,14 +40,15 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		model    = flag.String("model", "moe", "workload to serve")
-		design   = flag.String("design", string(core.DesignAdyna), "machine design")
-		seed     = flag.Int64("seed", 1, "seed for traces and arrivals")
+		model    = flag.String("model", "moe", "workload model to serve (see adyna -list)")
+		design   = flag.String("design", "adyna", "machine design: mtile, static, full, adyna, realtime")
+		seed     = flag.Int64("seed", 1, "workload trace seed (arrivals derive their own stream from it)")
 		requests = flag.Int("requests", 6000, "synthetic requests to serve")
 		gap      = flag.Float64("gap", 26000, "mean interarrival gap (cycles)")
 		ratewalk = flag.Float64("ratewalk", 0, "per-request std-dev of the arrival-rate random walk (0 = stationary)")
@@ -55,12 +64,19 @@ func main() {
 		replay   = flag.String("replay", "", "serve a recorded trace file instead of synthetic arrivals")
 		faultArg = flag.String("faults", "", "fault schedule: a spec string (kind@cycles:k=v,...) or a JSON file")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
+		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
+		statsOut = flag.String("stats-json", "", "write the final counters/gauges snapshot as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
+	d, err := core.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 	cfg := serve.Config{
 		Model:           *model,
-		Design:          core.Design(*design),
+		Design:          d,
 		RC:              core.DefaultRunConfig(),
 		MaxBatch:        *maxBatch,
 		MaxWaitCycles:   *maxWait,
@@ -84,10 +100,51 @@ func main() {
 		cfg.Faults = fs
 	}
 
-	if err := run(os.Stdout, cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare); err != nil {
+	if *traceOut != "" {
+		cfg.RC.Trace = telemetry.NewTrace()
+	}
+	if err := run(os.Stdout, cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare, *statsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, cfg.RC.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the collected telemetry as a Perfetto-loadable JSON file.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeStats renders snapshots as JSON to path ('-' for stdout). A single
+// run writes its snapshot object; -compare writes both keyed by mode.
+func writeStats(path string, snaps map[string]serve.Snapshot) error {
+	var v any = snaps
+	if s, ok := snaps["run"]; ok && len(snaps) == 1 {
+		v = s
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // loadFaults reads the -faults argument: a path to a JSON schedule when it
@@ -125,7 +182,7 @@ func newSource(replay string, requests int, gap, ratewalk float64, seed int64) (
 	return serve.NewSynthetic(requests, gap, seed+1, rate), nil
 }
 
-func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64, compare bool) error {
+func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64, compare bool, statsOut string) error {
 	if replay != "" {
 		// The server must be brought up for the recording's model and batch.
 		f, err := os.Open(replay)
@@ -142,20 +199,27 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 		cfg.MaxBatch = rec.BatchSamples
 	}
 	if !compare {
-		rep, err := serveOnce(cfg, replay, requests, gap, ratewalk, seed)
+		srv, rep, err := serveOnce(cfg, replay, requests, gap, ratewalk, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, rep)
+		if statsOut != "" {
+			return writeStats(statsOut, map[string]serve.Snapshot{"run": srv.Snapshot()})
+		}
 		return nil
 	}
 	on, off := cfg, cfg
 	on.Reschedule, off.Reschedule = true, false
-	repOn, err := serveOnce(on, replay, requests, gap, ratewalk, seed)
+	// The two runs share a design/model pair; explicit trace names keep their
+	// recorders apart in the merged -trace file.
+	on.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/adaptive"
+	off.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/static"
+	srvOn, repOn, err := serveOnce(on, replay, requests, gap, ratewalk, seed)
 	if err != nil {
 		return err
 	}
-	repOff, err := serveOnce(off, replay, requests, gap, ratewalk, seed)
+	srvOff, repOff, err := serveOnce(off, replay, requests, gap, ratewalk, seed)
 	if err != nil {
 		return err
 	}
@@ -187,17 +251,26 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 		t.AddRow("health reschedules", fmt.Sprint(repOn.HealthReschedules), fmt.Sprint(repOff.HealthReschedules), "")
 	}
 	fmt.Fprintln(w, t)
+	if statsOut != "" {
+		return writeStats(statsOut, map[string]serve.Snapshot{
+			"adaptive": srvOn.Snapshot(), "static": srvOff.Snapshot(),
+		})
+	}
 	return nil
 }
 
-func serveOnce(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64) (*serve.Report, error) {
+func serveOnce(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64) (*serve.Server, *serve.Report, error) {
 	src, err := newSource(replay, requests, gap, ratewalk, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s, err := serve.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.Serve(src)
+	rep, err := s.Serve(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rep, nil
 }

@@ -31,7 +31,7 @@ func smokeConfig() serve.Config {
 
 func TestRunSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, false); err != nil {
+	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "requests") {
@@ -41,7 +41,7 @@ func TestRunSmoke(t *testing.T) {
 
 func TestRunCompareSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, true); err != nil {
+	if err := run(&buf, smokeConfig(), "", 60, 60_000, 0, 1, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,7 +61,7 @@ func TestRunCompareWithFaults(t *testing.T) {
 	}
 	cfg.Faults = fs
 	var buf bytes.Buffer
-	if err := run(&buf, cfg, "", 100, 80_000, 0, 1, true); err != nil {
+	if err := run(&buf, cfg, "", 100, 80_000, 0, 1, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

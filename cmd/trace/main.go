@@ -18,10 +18,10 @@ import (
 
 func main() {
 	var (
-		model   = flag.String("model", "skipnet", "workload to generate")
-		batch   = flag.Int("batch", models.DefaultBatchSize, "batch size in samples")
-		batches = flag.Int("batches", 40, "number of batches")
-		seed    = flag.Int64("seed", 1, "generator seed")
+		model   = flag.String("model", "skipnet", "workload model to record (see adyna -list)")
+		batch   = flag.Int("batch", models.DefaultBatchSize, "batch size (samples)")
+		batches = flag.Int("batches", 40, "number of batches to record")
+		seed    = flag.Int64("seed", 1, "workload trace seed")
 		out     = flag.String("out", "", "write the recording to this file")
 		stats   = flag.String("stats", "", "print statistics of a recorded trace file, or '-' to inspect the generated trace")
 	)

@@ -1,0 +1,55 @@
+// Command tracecheck validates a Chrome-trace/Perfetto JSON file produced by
+// serve -trace or experiments -trace and prints its summary statistics. CI
+// uses it as the trace smoke check: exit status 0 means the file is
+// well-formed (valid JSON, every event carrying a phase, name and timestamp,
+// non-negative durations, per-track monotonic timestamps) and therefore loads
+// in https://ui.perfetto.dev.
+//
+// Usage:
+//
+//	tracecheck out.json
+//	serve -model moe -trace /dev/stdout -requests 200 | tracecheck -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json|->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	st, err := telemetry.Validate(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, st)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -98,6 +99,14 @@ type Machine struct {
 	optIdxBuf map[graph.OpID]int
 	groupsBuf map[graph.OpID]*sim.Store
 
+	// rec, when enabled, records per-tile kernel spans, batch spans, and
+	// plan loads (NoC and HBM spans are recorded by the substrates). nil —
+	// the default — disables recording with zero hot-path cost.
+	rec        *telemetry.Recorder
+	tileTracks []telemetry.TrackID // lazily registered, -1 = unregistered
+	planTrack  telemetry.TrackID
+	batchTrack telemetry.TrackID
+
 	stats Stats
 }
 
@@ -132,6 +141,37 @@ func New(cfg hw.Config, g *graph.Graph, opts Options) (*Machine, error) {
 // Profiler exposes the on-chip profiler (the scheduler reads it between
 // windows, as the hardware would report over the host link).
 func (m *Machine) Profiler() *profiler.Profiler { return m.prof }
+
+// SetRecorder attaches a telemetry recorder to the machine and its NoC/HBM
+// substrates: subsequent execution records per-tile kernel-execution spans,
+// NoC transfer spans, HBM fetch spans, batch-lifecycle spans, and plan
+// loads, all on the simulated clock. Call it right after New, before any
+// plan is loaded. A nil recorder (the default) keeps recording disabled at
+// zero cost on the hot path.
+func (m *Machine) SetRecorder(rec *telemetry.Recorder) {
+	m.rec = rec
+	if !rec.Enabled() {
+		return
+	}
+	m.batchTrack = rec.Track("batches")
+	m.planTrack = rec.Track("plan")
+	m.tileTracks = make([]telemetry.TrackID, m.cfg.Tiles())
+	for i := range m.tileTracks {
+		m.tileTracks[i] = -1
+	}
+	m.noc.SetRecorder(rec)
+	m.hbm.SetRecorder(rec)
+}
+
+// tileTrack returns the telemetry track of a physical tile, registering it
+// on first use so untouched tiles don't clutter the trace. Only called with
+// recording enabled.
+func (m *Machine) tileTrack(tile int) telemetry.TrackID {
+	if m.tileTracks[tile] < 0 {
+		m.tileTracks[tile] = m.rec.Track(fmt.Sprintf("tile %d", tile))
+	}
+	return m.tileTracks[tile]
+}
 
 // Now returns the current simulated time.
 func (m *Machine) Now() sim.Time { return m.env.Now() }
@@ -179,6 +219,14 @@ func (m *Machine) LoadPlan(p *sched.Plan) error {
 		m.env.Run()
 		m.stats.ReconfigCycles += int64(m.env.Now() - start)
 		m.stats.Reconfigs++
+		if m.rec.Enabled() {
+			m.rec.Span(m.planTrack, "plan", "reconfig", int64(start), int64(m.env.Now()),
+				telemetry.I("kernel_bytes", kernelBytes),
+				telemetry.I("segments", int64(len(p.Segments))))
+		}
+	} else if m.rec.Enabled() {
+		m.rec.Instant(m.planTrack, "plan", "load", int64(m.env.Now()),
+			telemetry.I("segments", int64(len(p.Segments))))
 	}
 	m.plan = p
 	m.dags = dags
@@ -391,6 +439,10 @@ func (m *Machine) Run(batches []workload.Batch) error {
 					m.env.Go("latency", func(lp *sim.Proc) {
 						done.Await(lp)
 						m.batchDone = append(m.batchDone, BatchLatency{Start: windowStart, Done: lp.Now()})
+						if m.rec.Enabled() {
+							m.rec.Span(m.batchTrack, "batch", "batch", int64(windowStart), int64(lp.Now()),
+								telemetry.I("index", int64(len(m.batchDone)-1)))
+						}
 					})
 				}
 				inflight = append(inflight, j.done)
@@ -673,6 +725,7 @@ func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 		}
 	})
 
+	kstart := p.Now()
 	for c := 0; c < chunksPerJob; c++ {
 		// Gather this chunk from every producer.
 		for _, e := range je.inputs {
@@ -705,5 +758,15 @@ func (m *Machine) runEntity(p *sim.Proc, j *job, je *jobEntity) {
 			p.Wait(hbmDone - p.Now())
 		}
 		sendQ.TryPut(c)
+	}
+	if m.rec.Enabled() {
+		// One kernel-execution span per (batch, segment, entity), on the
+		// track of the region's lead tile: input gather, HBM streaming and
+		// compute for all chunks of this job.
+		m.rec.Span(m.tileTrack(src), "kernel", m.g.Op(je.lead).Name,
+			int64(kstart), int64(p.Now()),
+			telemetry.I("units", int64(je.units)),
+			telemetry.I("tiles", int64(je.opt.Tiles)),
+			telemetry.I("segment", int64(j.seg.Index)))
 	}
 }

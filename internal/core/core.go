@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/baselines"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -40,6 +42,29 @@ func Figure9Designs() []Design {
 	return []Design{DesignGPU, DesignMTile, DesignMTenant, DesignAdynaStatic, DesignFullKernel, DesignAdyna}
 }
 
+// ParseDesign resolves a CLI design argument — the canonical name or its
+// common lowercase alias — to a Design. Shared by every command so the same
+// spelling works everywhere.
+func ParseDesign(s string) (Design, error) {
+	switch strings.ToLower(s) {
+	case "gpu":
+		return DesignGPU, nil
+	case "mtile", "m-tile":
+		return DesignMTile, nil
+	case "mtenant", "m-tenant":
+		return DesignMTenant, nil
+	case "static", "adyna-static", "adyna(static)":
+		return DesignAdynaStatic, nil
+	case "full", "full-kernel":
+		return DesignFullKernel, nil
+	case "adyna":
+		return DesignAdyna, nil
+	case "realtime", "real-time":
+		return DesignRealtime, nil
+	}
+	return "", fmt.Errorf("core: unknown design %q (want gpu, mtile, mtenant, static, full, adyna, or realtime)", s)
+}
+
 // RunConfig parameterizes one simulated run.
 type RunConfig struct {
 	// HW is the accelerator configuration (Table III by default).
@@ -56,6 +81,17 @@ type RunConfig struct {
 	// OnlineSchedCycles is the per-dynamic-operator host scheduling latency
 	// of the real-time design (Figure 12's swept variable).
 	OnlineSchedCycles int64
+	// Trace, when non-nil, collects a telemetry recording of every machine
+	// brought up under this config: each Bringup registers its own recorder
+	// and the run's kernel/NoC/HBM/plan/batch events land in it (see
+	// internal/telemetry). nil — the default — keeps recording disabled at
+	// zero hot-path cost.
+	Trace *telemetry.Trace
+	// TraceName names the recorder a Bringup registers in Trace (default
+	// "<design>/<model>"). Sweeps that run the same design and model more
+	// than once must set it to keep recorder names unique — the trace
+	// writer's determinism contract orders recorders by name.
+	TraceName string
 }
 
 // ExecWindow is the batch-window granularity every machine design executes
@@ -132,10 +168,17 @@ func RunWithPolicy(d Design, modelName string, rc RunConfig, mutate func(*sched.
 // plan loaded, the policy it was scheduled under, and the trace source
 // positioned just past the warmup batches.
 type Setup struct {
+	// W is the workload; M the machine with warmup profile observed and the
+	// initial plan loaded; Policy the scheduling policy the plan was built
+	// under; Src the trace source positioned just past the warmup batches.
 	W      *models.Workload
 	M      *accel.Machine
 	Policy sched.Policy
 	Src    *workload.Source
+	// Rec is the telemetry recorder attached to M (nil when RunConfig.Trace
+	// was nil). Layers above the machine — the serving loop — add their own
+	// tracks to it.
+	Rec *telemetry.Recorder
 }
 
 // Bringup assembles a machine design the way every runner does before its
@@ -166,6 +209,15 @@ func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy
 	if err != nil {
 		return nil, err
 	}
+	var rec *telemetry.Recorder
+	if rc.Trace != nil {
+		name := rc.TraceName
+		if name == "" {
+			name = string(d) + "/" + modelName
+		}
+		rec = rc.Trace.Recorder(name)
+		m.SetRecorder(rec)
+	}
 	src := workload.NewSource(rc.Seed)
 	for _, b := range w.GenTrace(src, rc.Warmup, rc.Batch) {
 		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
@@ -183,7 +235,7 @@ func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy
 	if err := m.LoadPlan(plan); err != nil {
 		return nil, err
 	}
-	return &Setup{W: w, M: m, Policy: pol, Src: src}, nil
+	return &Setup{W: w, M: m, Policy: pol, Src: src, Rec: rec}, nil
 }
 
 func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {

@@ -55,7 +55,10 @@ func DSESweep(opt Options, model string) (*metrics.Table, error) {
 		}
 		rc := opt.RC
 		rc.HW = cfg
-		jobs = append(jobs, job{v.name, core.DesignMTile, rc}, job{v.name, core.DesignAdyna, rc})
+		mrc, arc := rc, rc
+		mrc.TraceName = "dse/mtile/" + v.name
+		arc.TraceName = "dse/adyna/" + v.name
+		jobs = append(jobs, job{v.name, core.DesignMTile, mrc}, job{v.name, core.DesignAdyna, arc})
 	}
 	rs, err := runner.Map(opt.Workers, len(jobs), func(i int) (metrics.RunResult, error) {
 		j := jobs[i]
@@ -90,7 +93,9 @@ func LatencyTable(opt Options, model string) (*metrics.Table, error) {
 	}
 	designs := []core.Design{core.DesignMTile, core.DesignAdyna}
 	all, err := runner.Map(opt.Workers, len(designs), func(i int) ([]float64, error) {
-		return core.BatchLatencies(designs[i], model, opt.RC)
+		rc := opt.RC
+		rc.TraceName = fmt.Sprintf("latency/%s/%s", designs[i], model)
+		return core.BatchLatencies(designs[i], model, rc)
 	})
 	if err != nil {
 		return nil, err

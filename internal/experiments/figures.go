@@ -113,9 +113,13 @@ func Figure12(opt Options, latenciesUS []float64) (*metrics.Figure, float64, err
 		latenciesUS = []float64{0, 25, 50, 100, 200, 390, 600, 1000}
 	}
 	names := models.Names()
-	// Adyna reference per model, fanned out across workers.
+	// Adyna reference per model, fanned out across workers. Sweep runs get
+	// explicit trace names (here and below): several points share a
+	// design/model pair, so the default recorder naming would collide.
 	refs, err := runner.Map(opt.Workers, len(names), func(i int) (metrics.RunResult, error) {
-		return core.Run(core.DesignAdyna, names[i], opt.RC)
+		rc := opt.RC
+		rc.TraceName = "fig12/adyna/" + names[i]
+		return core.Run(core.DesignAdyna, names[i], rc)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -134,6 +138,7 @@ func Figure12(opt Options, latenciesUS []float64) (*metrics.Figure, float64, err
 		rc := opt.RC
 		rc.OnlineSchedCycles = int64(us * 1000 * rc.HW.ClockGHz)
 		for _, name := range names {
+			rc.TraceName = fmt.Sprintf("fig12/realtime/%s@%gus", name, us)
 			pts = append(pts, point{name, rc})
 		}
 	}
@@ -201,11 +206,14 @@ func Figure13(opt Options, batchSizes []int) (*metrics.Figure, error) {
 		}
 	}
 	speedups, err := runner.Map(opt.Workers, len(pts), func(i int) (float64, error) {
-		mt, err := core.Run(core.DesignMTile, pts[i].model, pts[i].rc)
+		rc := pts[i].rc
+		rc.TraceName = fmt.Sprintf("fig13/mtile/%s/b%d", pts[i].model, rc.Batch)
+		mt, err := core.Run(core.DesignMTile, pts[i].model, rc)
 		if err != nil {
 			return 0, err
 		}
-		ad, err := core.Run(core.DesignAdyna, pts[i].model, pts[i].rc)
+		rc.TraceName = fmt.Sprintf("fig13/adyna/%s/b%d", pts[i].model, rc.Batch)
+		ad, err := core.Run(core.DesignAdyna, pts[i].model, rc)
 		if err != nil {
 			return 0, err
 		}
@@ -244,6 +252,7 @@ func ReconfigSweep(opt Options, periods []int) (*metrics.Table, error) {
 	}
 	for _, p := range periods {
 		rc := opt.RC
+		rc.TraceName = fmt.Sprintf("reconfig/skipnet/p%d", p)
 		r, err := runWithPeriod("skipnet", rc, p)
 		if err != nil {
 			return nil, err
@@ -271,7 +280,9 @@ func KernelBudgetSweep(opt Options, budgets []int) (*metrics.Figure, error) {
 	// The M-tile reference does not depend on the kernel budget: run it once
 	// per model instead of once per sweep point.
 	mts, err := runner.Map(opt.Workers, len(names), func(i int) (metrics.RunResult, error) {
-		return core.Run(core.DesignMTile, names[i], opt.RC)
+		rc := opt.RC
+		rc.TraceName = "budget/mtile/" + names[i]
+		return core.Run(core.DesignMTile, names[i], rc)
 	})
 	if err != nil {
 		return nil, err
@@ -287,7 +298,9 @@ func KernelBudgetSweep(opt Options, budgets []int) (*metrics.Figure, error) {
 		}
 	}
 	ads, err := runner.Map(opt.Workers, len(pts), func(i int) (metrics.RunResult, error) {
-		return core.RunWithBudget(core.DesignAdyna, names[pts[i].model], opt.RC, pts[i].budget)
+		rc := opt.RC
+		rc.TraceName = fmt.Sprintf("budget/adyna/%s/k%d", names[pts[i].model], pts[i].budget)
+		return core.RunWithBudget(core.DesignAdyna, names[pts[i].model], rc, pts[i].budget)
 	})
 	if err != nil {
 		return nil, err
@@ -337,11 +350,14 @@ func HybridDemo(opt Options) (*metrics.Table, error) {
 		Title:   "Hybrid DynNN (AdaViT: dynamic region + dynamic depth)",
 		Columns: []string{"Design", "Cycles/batch", "Speedup", "PE util"},
 	}
-	mt, err := core.Run(core.DesignMTile, "adavit", opt.RC)
+	rc := opt.RC
+	rc.TraceName = "hybrid/mtile/adavit"
+	mt, err := core.Run(core.DesignMTile, "adavit", rc)
 	if err != nil {
 		return nil, err
 	}
-	ad, err := core.Run(core.DesignAdyna, "adavit", opt.RC)
+	rc.TraceName = "hybrid/adyna/adavit"
+	ad, err := core.Run(core.DesignAdyna, "adavit", rc)
 	if err != nil {
 		return nil, err
 	}

@@ -108,6 +108,7 @@ func (e Event) active(t int64) bool {
 
 // Schedule is a fault schedule: events ordered by strike time.
 type Schedule struct {
+	// Events are the scheduled faults, ordered by strike time At.
 	Events []Event `json:"events"`
 }
 

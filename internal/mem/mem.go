@@ -7,6 +7,7 @@ package mem
 import (
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // HBM is the off-chip memory model.
@@ -17,6 +18,10 @@ type HBM struct {
 	next     int
 	// Accounting.
 	readBytes, writeBytes int64
+	// rec, when enabled, records every fetch/write-back as a span on track
+	// (nil: recording disabled, zero overhead).
+	rec   *telemetry.Recorder
+	track telemetry.TrackID
 }
 
 // New builds the HBM model for cfg.
@@ -26,6 +31,14 @@ func New(env *sim.Env, cfg hw.Config) *HBM {
 		h.stacks = append(h.stacks, sim.NewServer(env, h.baseRate))
 	}
 	return h
+}
+
+// SetRecorder attaches a telemetry recorder: every fetch and write-back is
+// recorded as a span covering queueing through drain, with a byte-count arg.
+// A nil recorder disables recording at zero cost.
+func (h *HBM) SetRecorder(rec *telemetry.Recorder) {
+	h.rec = rec
+	h.track = rec.Track("hbm")
 }
 
 // Derate scales every stack's bandwidth to factor times the construction
@@ -56,7 +69,11 @@ func (h *HBM) Read(p *sim.Proc, n int64) {
 		return
 	}
 	h.readBytes += n
+	start := h.env.Now()
 	h.transfer(p, n)
+	if h.rec.Enabled() {
+		h.rec.Span(h.track, "hbm", "read", int64(start), int64(p.Now()), telemetry.I("bytes", n))
+	}
 }
 
 // Write blocks the process until n bytes have been drained.
@@ -65,7 +82,11 @@ func (h *HBM) Write(p *sim.Proc, n int64) {
 		return
 	}
 	h.writeBytes += n
+	start := h.env.Now()
 	h.transfer(p, n)
+	if h.rec.Enabled() {
+		h.rec.Span(h.track, "hbm", "write", int64(start), int64(p.Now()), telemetry.I("bytes", n))
+	}
 }
 
 func (h *HBM) transfer(p *sim.Proc, n int64) {
@@ -91,7 +112,11 @@ func (h *HBM) Reserve(n int64) sim.Time {
 		return h.env.Now()
 	}
 	h.readBytes += n
-	return h.reserve(n)
+	done := h.reserve(n)
+	if h.rec.Enabled() {
+		h.rec.Span(h.track, "hbm", "read", int64(h.env.Now()), int64(done), telemetry.I("bytes", n))
+	}
+	return done
 }
 
 // ReserveWrite books a write-back without blocking (the DMA drains output
@@ -101,7 +126,11 @@ func (h *HBM) ReserveWrite(n int64) sim.Time {
 		return h.env.Now()
 	}
 	h.writeBytes += n
-	return h.reserve(n)
+	done := h.reserve(n)
+	if h.rec.Enabled() {
+		h.rec.Span(h.track, "hbm", "write", int64(h.env.Now()), int64(done), telemetry.I("bytes", n))
+	}
+	return done
 }
 
 func (h *HBM) reserve(n int64) sim.Time {

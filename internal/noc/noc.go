@@ -7,6 +7,7 @@ package noc
 import (
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // NoC is the on-chip network model. Tile groups are addressed by their
@@ -26,6 +27,10 @@ type NoC struct {
 	byteHops  int64
 	transfers int64
 	probes    int64
+	// rec, when enabled, records every payload transfer as a span on track
+	// (nil: recording disabled, zero overhead).
+	rec   *telemetry.Recorder
+	track telemetry.TrackID
 }
 
 // New builds the NoC model for cfg.
@@ -37,6 +42,14 @@ func New(env *sim.Env, cfg hw.Config) *NoC {
 		n.eject = append(n.eject, sim.NewServer(env, n.rate))
 	}
 	return n
+}
+
+// SetRecorder attaches a telemetry recorder: every payload transfer is
+// recorded as a span (injection-queueing through delivery) with src/dst tile
+// and byte-count args. A nil recorder disables recording at zero cost.
+func (n *NoC) SetRecorder(rec *telemetry.Recorder) {
+	n.rec = rec
+	n.track = rec.Track("noc")
 }
 
 // Derate scales every port and link to factor times the construction
@@ -121,6 +134,7 @@ func (n *NoC) Transfer(p *sim.Proc, src, dst int, bytes int64, ways int) {
 	if src == dst {
 		return // same tiles: data stays in the local scratchpad
 	}
+	start := p.Now()
 	share := (bytes + int64(ways) - 1) / int64(ways)
 	n.inject[src].Serve(p, share)
 	// The payload then crosses every link of its X-Y route (wormhole
@@ -133,6 +147,11 @@ func (n *NoC) Transfer(p *sim.Proc, src, dst int, bytes int64, ways int) {
 	if done > p.Now() {
 		p.Wait(done - p.Now())
 	}
+	if n.rec.Enabled() {
+		n.rec.Span(n.track, "noc", "xfer", int64(start), int64(p.Now()),
+			telemetry.I("src", int64(src)), telemetry.I("dst", int64(dst)),
+			telemetry.I("bytes", bytes), telemetry.I("hops", int64(h)))
+	}
 }
 
 // Multicast sends the same payload from src to several destinations
@@ -143,6 +162,7 @@ func (n *NoC) Multicast(p *sim.Proc, src int, dsts []int, bytes int64) {
 	if bytes <= 0 || len(dsts) == 0 {
 		return
 	}
+	start := p.Now()
 	var last sim.Time
 	for _, dst := range dsts {
 		if dst == src {
@@ -159,6 +179,11 @@ func (n *NoC) Multicast(p *sim.Proc, src int, dsts []int, bytes int64) {
 	}
 	if last > p.Now() {
 		p.Wait(last - p.Now())
+	}
+	if n.rec.Enabled() {
+		n.rec.Span(n.track, "noc", "multicast", int64(start), int64(p.Now()),
+			telemetry.I("src", int64(src)), telemetry.I("fanout", int64(len(dsts))),
+			telemetry.I("bytes", bytes))
 	}
 }
 

@@ -53,17 +53,26 @@ func (d *detector) Rebase() {
 // shares and active fractions and maxed over the two statistics. 0 for
 // graphs without switches.
 func (d *detector) Divergence() float64 {
-	var sumShare, sumActive float64
+	share, active := d.divergenceParts()
+	return math.Max(share, active)
+}
+
+// divergenceParts returns the two per-branch drift statistics separately:
+// the mean absolute unit-share difference (volume) and the mean absolute
+// active-fraction difference (presence). Divergence maxes over them; the
+// telemetry drift-eval events record both, so a trace shows which statistic
+// triggered (or failed to trigger) a re-plan.
+func (d *detector) divergenceParts() (share, active float64) {
 	n := 0
 	for i, sw := range d.sws {
 		for k := 0; k < d.nb[i]; k++ {
-			sumShare += math.Abs(d.prof.BranchUnitShare(sw, k) - d.baseShare[i][k])
-			sumActive += math.Abs(d.prof.BranchActiveFraction(sw, k) - d.baseActive[i][k])
+			share += math.Abs(d.prof.BranchUnitShare(sw, k) - d.baseShare[i][k])
+			active += math.Abs(d.prof.BranchActiveFraction(sw, k) - d.baseActive[i][k])
 			n++
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, 0
 	}
-	return math.Max(sumShare, sumActive) / float64(n)
+	return share / float64(n), active / float64(n)
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Health detection: the serving-side half of the fault story. The machine
@@ -42,6 +43,12 @@ func (s *Server) applyFaults(now int64) error {
 	if err := s.setup.M.SetCapability(cap.Failed, cap.NoC, cap.HBM); err != nil {
 		return err
 	}
+	if s.rec.Enabled() {
+		s.rec.Instant(s.faultTrack, "fault", "capability", now,
+			telemetry.I("failed_tiles", int64(cap.Failed.Count())),
+			telemetry.F("noc", cap.NoC), telemetry.F("hbm", cap.HBM),
+			telemetry.I("reschedule", boolArg(s.cfg.Reschedule)))
+	}
 	if s.cfg.Reschedule {
 		return s.healthReschedule()
 	}
@@ -64,6 +71,10 @@ func (s *Server) healthReschedule() error {
 		return err
 	}
 	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
+	if s.rec.Enabled() {
+		s.rec.Instant(s.faultTrack, "fault", "health-reschedule", int64(m.Now()),
+			telemetry.I("swap_cycles", m.Stats().ReconfigCycles-before))
+	}
 	m.Profiler().Reset()
 	s.det.Rebase()
 	s.rep.HealthReschedules++

@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -127,6 +128,7 @@ func (c *Config) defaults() {
 
 // RequestResult is one request's outcome record.
 type RequestResult struct {
+	// ID and Arrival echo the request's identity and arrival cycle.
 	ID      int
 	Arrival int64
 	// Done is the completion cycle (0 for shed requests).
@@ -140,11 +142,16 @@ func (r RequestResult) Latency() int64 { return r.Done - r.Arrival }
 
 // Report is the outcome of one Serve call.
 type Report struct {
+	// Model and Design identify the served workload and machine design.
 	Model  string
 	Design core.Design
 
+	// Requests counts every admitted-or-shed request; Served, Missed and Shed
+	// split it by outcome.
 	Requests, Served, Missed, Shed int
-	Batches, Reschedules           int
+	// Batches counts executed batches; Reschedules the drift-triggered plan
+	// swaps.
+	Batches, Reschedules int
 	// FaultEvents counts capability changes applied during the stream;
 	// HealthReschedules counts the emergency re-plans they triggered (both
 	// zero without a fault schedule).
@@ -232,6 +239,15 @@ type Server struct {
 	queuedSamples int
 	rep           *Report
 	sinceResched  int
+
+	// rec is the telemetry recorder shared with the machine (nil when
+	// Config.RC.Trace was nil): the serving loop adds batch spans, shed and
+	// deadline-miss instants, queue-depth counter samples, drift-detector
+	// evaluations and fault events on its own tracks.
+	rec        *telemetry.Recorder
+	serveTrack telemetry.TrackID
+	driftTrack telemetry.TrackID
+	faultTrack telemetry.TrackID
 }
 
 // New brings up a server: machine built, warmup profile observed, initial
@@ -245,12 +261,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		setup:  setup,
 		det:    newDetector(setup.W.Graph, setup.M.Profiler()),
 		health: healthState(cfg.Faults),
-	}, nil
+		rec:    setup.Rec,
+	}
+	if s.rec.Enabled() {
+		s.serveTrack = s.rec.Track("serve")
+		s.driftTrack = s.rec.Track("drift")
+		if s.health != nil {
+			s.faultTrack = s.rec.Track("faults")
+		}
+	}
+	return s, nil
 }
 
 // Setup exposes the brought-up machine bundle (tests and tools).
@@ -335,10 +360,17 @@ func (s *Server) admit(req Request) {
 	}
 	if s.queuedSamples+req.Samples > s.cfg.QueueCapSamples {
 		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Outcome: Shed})
+		if s.rec.Enabled() {
+			s.rec.Instant(s.serveTrack, "serve", "shed", int64(s.setup.M.Now()),
+				telemetry.I("request", int64(req.ID)), telemetry.S("reason", "queue-full"))
+		}
 		return
 	}
 	s.queue = append(s.queue, req)
 	s.queuedSamples += req.Samples
+	if s.rec.Enabled() {
+		s.rec.Counter(s.serveTrack, "serve", "queue_depth", int64(s.setup.M.Now()), int64(s.queuedSamples))
+	}
 }
 
 func (s *Server) popHead() Request {
@@ -357,10 +389,15 @@ func (s *Server) fireBatch(now int64) error {
 	for len(s.queue) > 0 && s.cfg.SLOCycles > 0 && s.queue[0].Arrival+s.cfg.SLOCycles <= now {
 		req := s.popHead()
 		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Outcome: Shed})
+		if s.rec.Enabled() {
+			s.rec.Instant(s.serveTrack, "serve", "shed", now,
+				telemetry.I("request", int64(req.ID)), telemetry.S("reason", "slo-expired"))
+		}
 	}
 	if len(s.queue) == 0 {
 		return nil
 	}
+	headWait := now - s.queue[0].Arrival
 	w := s.setup.W
 	var batch []Request
 	var units int
@@ -393,8 +430,24 @@ func (s *Server) fireBatch(now int64) error {
 		out := Served
 		if s.cfg.SLOCycles > 0 && done > req.Arrival+s.cfg.SLOCycles {
 			out = DeadlineMissed
+			if s.rec.Enabled() {
+				s.rec.Instant(s.serveTrack, "serve", "deadline-miss", done,
+					telemetry.I("request", int64(req.ID)),
+					telemetry.I("late", done-req.Arrival-s.cfg.SLOCycles))
+			}
 		}
 		s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Done: done, Outcome: out})
+	}
+	if s.rec.Enabled() {
+		// The batch's serve-side span: formation through completion, with the
+		// head request's queue wait (the dual batching policy's second
+		// trigger) and the batch's composition as args. The machine records
+		// the matching execution span on its own batches track.
+		s.rec.Span(s.serveTrack, "serve", "batch", now, done,
+			telemetry.I("requests", int64(len(batch))),
+			telemetry.I("units", int64(b.Units)),
+			telemetry.I("queue_wait", headWait))
+		s.rec.Counter(s.serveTrack, "serve", "queue_depth", done, int64(s.queuedSamples))
 	}
 	s.rep.Batches++
 	s.sinceResched++
@@ -411,14 +464,27 @@ func (s *Server) fireBatch(now int64) error {
 // lands on the machine clock, exactly like the periodic reconfiguration of
 // the offline runner.
 func (s *Server) maybeReschedule() error {
-	div := s.det.Divergence()
+	share, active := s.det.divergenceParts()
+	div := share
+	if active > div {
+		div = active
+	}
 	if div > s.rep.MaxDivergence {
 		s.rep.MaxDivergence = div
 	}
-	if s.sinceResched < s.cfg.CooldownBatches {
-		return nil
+	cooling := s.sinceResched < s.cfg.CooldownBatches
+	triggered := !cooling && div >= s.cfg.DriftThreshold
+	if s.rec.Enabled() {
+		// One instant per drift check, whether or not it fires: both branch
+		// statistics the detector maxes over, the threshold, and what the
+		// check decided. A trace therefore shows which statistic pushed a
+		// re-plan — and how close the quiet checks came.
+		s.rec.Instant(s.driftTrack, "drift", "drift-eval", int64(s.setup.M.Now()),
+			telemetry.F("share", share), telemetry.F("active", active),
+			telemetry.F("divergence", div), telemetry.F("threshold", s.cfg.DriftThreshold),
+			telemetry.I("cooldown", boolArg(cooling)), telemetry.I("triggered", boolArg(triggered)))
 	}
-	if div < s.cfg.DriftThreshold {
+	if !triggered {
 		return nil
 	}
 	m := s.setup.M
@@ -431,6 +497,11 @@ func (s *Server) maybeReschedule() error {
 		return err
 	}
 	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
+	if s.rec.Enabled() {
+		s.rec.Instant(s.driftTrack, "drift", "reschedule", int64(m.Now()),
+			telemetry.F("divergence", div),
+			telemetry.I("swap_cycles", m.Stats().ReconfigCycles-before))
+	}
 	// Age the profiling window (the paper's periodic report) and rebase the
 	// drift reference on the profile the new plan was built from.
 	m.Profiler().Reset()
@@ -438,4 +509,12 @@ func (s *Server) maybeReschedule() error {
 	s.rep.Reschedules++
 	s.sinceResched = 0
 	return nil
+}
+
+// boolArg renders a branch decision as a 0/1 trace arg.
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -9,6 +9,7 @@ import (
 
 // Request is one timestamped admission unit.
 type Request struct {
+	// ID identifies the request in the outcome log and the trace events.
 	ID int
 	// Arrival is the request's arrival time in machine cycles.
 	Arrival int64

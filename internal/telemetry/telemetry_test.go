@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder("machine")
+	tile := r.Track("tile 0")
+	nocT := r.Track("noc")
+	if tile == nocT {
+		t.Fatalf("distinct tracks share an id")
+	}
+	if again := r.Track("tile 0"); again != tile {
+		t.Fatalf("re-registering a track changed its id: %d vs %d", again, tile)
+	}
+	// Record deliberately out of start order: spans land at completion time.
+	r.Span(nocT, "noc", "xfer", 50, 80, I("src", 3), I("dst", 7), I("bytes", 4096))
+	r.Span(tile, "kernel", "conv1", 10, 40, I("units", 12))
+	r.Instant(tile, "serve", "shed", 60)
+	r.Counter(nocT, "serve", "queue_depth", 70, 5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"name":"tile 0"`, `"name":"noc"`,
+		`"cat":"kernel"`, `"name":"conv1"`, `"units":12`,
+		`"src":3`, `"dst":7`, `"bytes":4096`,
+		`"ph":"i"`, `"s":"t"`, `"ph":"C"`, `"value":5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %s\n%s", want, out)
+		}
+	}
+	st, err := Validate(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("Validate rejected writer output: %v\n%s", err, out)
+	}
+	if st.Events != 4 || st.Spans != 2 || st.Instants != 1 || st.Counters != 1 {
+		t.Fatalf("stats = %+v, want 4 events (2/1/1)", st)
+	}
+	if st.Categories["kernel"] != 1 || st.Categories["noc"] != 1 {
+		t.Fatalf("categories = %v", st.Categories)
+	}
+	if st.MaxTS != 80 {
+		t.Fatalf("MaxTS = %d, want 80", st.MaxTS)
+	}
+	// The kernel span starts before the noc span and must be emitted first
+	// even though it was recorded second.
+	if k, n := strings.Index(out, `"conv1"`), strings.Index(out, `"xfer"`); k > n {
+		t.Fatalf("events not sorted by ts:\n%s", out)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims to be enabled")
+	}
+	if r.Name() != "" || r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	tr := r.Track("anything")
+	r.Span(tr, "c", "n", 0, 1)
+	r.Instant(tr, "c", "n", 0)
+	r.Counter(tr, "c", "n", 0, 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("empty trace does not validate: %v", err)
+	}
+}
+
+func TestNilTraceHandsOutNilRecorders(t *testing.T) {
+	var tr *Trace
+	if rec := tr.Recorder("x"); rec != nil {
+		t.Fatal("nil trace returned a live recorder")
+	}
+	if rs := tr.Recorders(); rs != nil {
+		t.Fatal("nil trace returned recorders")
+	}
+}
+
+// TestDisabledRecorderZeroAlloc is the hot-path contract: with tracing off
+// (a nil recorder, which is what every machine and server holds by default)
+// the instrumentation points must not allocate at all, so the PR 2 hot-path
+// numbers and the golden outputs stay untouched.
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	track := r.Track("tile 0")
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The three shapes that appear on hot paths: an argless span, an
+		// Enabled guard around an arg-building call, and a counter sample.
+		r.Span(track, "kernel", "conv1", 10, 40)
+		if r.Enabled() {
+			r.Span(track, "noc", "xfer", 50, 80, I("src", 3), I("dst", 7))
+		}
+		r.Instant(track, "serve", "shed", 60)
+		r.Counter(track, "serve", "queue_depth", 70, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestTraceMergeSortsByName(t *testing.T) {
+	tr := NewTrace()
+	b := tr.Recorder("b-run")
+	a := tr.Recorder("a-run")
+	a.Span(a.Track("t"), "c", "first", 0, 1)
+	b.Span(b.Track("t"), "c", "second", 0, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ai, bi := strings.Index(out, `"a-run"`), strings.Index(out, `"b-run"`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("recorders not sorted by name:\n%s", out)
+	}
+	st, err := Validate(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes != 2 || st.Events != 2 {
+		t.Fatalf("stats = %+v, want 2 processes / 2 events", st)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents":[`,
+		"no traceEvents":  `{}`,
+		"missing phase":   `{"traceEvents":[{"name":"x","ts":1}]}`,
+		"missing name":    `{"traceEvents":[{"ph":"X","ts":1}]}`,
+		"missing ts":      `{"traceEvents":[{"ph":"X","name":"x"}]}`,
+		"negative dur":    `{"traceEvents":[{"ph":"X","name":"x","ts":1,"dur":-2}]}`,
+		"非-monotonic  ts": `{"traceEvents":[{"ph":"X","name":"a","ts":5},{"ph":"X","name":"b","ts":4}]}`,
+	}
+	for what, in := range cases {
+		if _, err := Validate(strings.NewReader(in)); err == nil {
+			t.Errorf("Validate accepted a trace with %s", what)
+		}
+	}
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	r := NewRecorder("weird \"name\"\n")
+	r.Span(r.Track("t"), "c", `op "x" \ done`, 0, 1, S("k", "v\tv"))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped trace does not parse: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Validation of trace_event files, used by the golden tests and the CI trace
+// smoke step (cmd/tracecheck): a recorded trace must be well-formed JSON in
+// the shape Perfetto loads, with non-negative durations and per-track
+// monotonic timestamps.
+
+// Stats summarizes a validated trace file.
+type Stats struct {
+	// Events counts non-metadata trace events; Spans, Instants and Counters
+	// split the total by phase.
+	Events, Spans, Instants, Counters int
+	// Processes counts distinct pids, Tracks distinct (pid, tid) pairs.
+	Processes, Tracks int
+	// Categories maps each event category to its event count.
+	Categories map[string]int
+	// MaxTS is the largest timestamp (span end) in the file, in cycles.
+	MaxTS int64
+}
+
+// String renders the stats as the one-screen report cmd/tracecheck prints.
+func (s Stats) String() string {
+	out := fmt.Sprintf("%d events (%d spans, %d instants, %d counters) on %d tracks in %d processes, horizon %d cycles",
+		s.Events, s.Spans, s.Instants, s.Counters, s.Tracks, s.Processes, s.MaxTS)
+	cats := make([]string, 0, len(s.Categories))
+	for c := range s.Categories {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		out += fmt.Sprintf("\n  %-8s %d", c, s.Categories[c])
+	}
+	return out
+}
+
+// rawEvent is the subset of trace_event fields the validator inspects.
+type rawEvent struct {
+	Ph   string `json:"ph"`
+	Pid  int64  `json:"pid"`
+	Tid  int64  `json:"tid"`
+	TS   *int64 `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+}
+
+// Validate checks that r holds a well-formed trace_event JSON file: an
+// object with a traceEvents array, every event carrying a phase and a name,
+// non-negative timestamps and durations, and — the determinism contract the
+// writer guarantees — non-decreasing timestamps within each (pid, tid)
+// track. It returns summary statistics on success.
+func Validate(r io.Reader) (Stats, error) {
+	var file struct {
+		TraceEvents []rawEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return Stats{}, fmt.Errorf("telemetry: trace is not valid JSON: %w", err)
+	}
+	if file.TraceEvents == nil {
+		return Stats{}, fmt.Errorf("telemetry: trace has no traceEvents array")
+	}
+	st := Stats{Categories: map[string]int{}}
+	type trackKey struct{ pid, tid int64 }
+	lastTS := map[trackKey]int64{}
+	procs := map[int64]bool{}
+	for i, e := range file.TraceEvents {
+		if e.Ph == "" {
+			return st, fmt.Errorf("telemetry: event %d has no phase", i)
+		}
+		if e.Name == "" {
+			return st, fmt.Errorf("telemetry: event %d (ph %q) has no name", i, e.Ph)
+		}
+		if e.Ph == "M" {
+			procs[e.Pid] = true
+			continue
+		}
+		if e.TS == nil {
+			return st, fmt.Errorf("telemetry: event %d (%s) has no ts", i, e.Name)
+		}
+		ts := *e.TS
+		if ts < 0 || e.Dur < 0 {
+			return st, fmt.Errorf("telemetry: event %d (%s) has negative ts %d / dur %d", i, e.Name, ts, e.Dur)
+		}
+		k := trackKey{e.Pid, e.Tid}
+		if last, ok := lastTS[k]; ok && ts < last {
+			return st, fmt.Errorf("telemetry: event %d (%s) breaks track %d/%d monotonicity: ts %d after %d",
+				i, e.Name, e.Pid, e.Tid, ts, last)
+		}
+		lastTS[k] = ts
+		procs[e.Pid] = true
+		st.Events++
+		st.Categories[e.Cat]++
+		switch e.Ph {
+		case "X":
+			st.Spans++
+		case "i", "I":
+			st.Instants++
+		case "C":
+			st.Counters++
+		}
+		if end := ts + e.Dur; end > st.MaxTS {
+			st.MaxTS = end
+		}
+	}
+	st.Tracks = len(lastTS)
+	st.Processes = len(procs)
+	return st, nil
+}

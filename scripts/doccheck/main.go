@@ -1,0 +1,228 @@
+// Command doccheck audits godoc coverage: every exported top-level symbol
+// (type, function, method, and exported fields of exported structs) in the
+// given package directories must carry a doc comment, and every package must
+// have a package comment. CI runs it over the API-bearing packages; exit
+// status 1 lists the undocumented symbols.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck internal/telemetry internal/serve
+//	go run ./scripts/doccheck internal/...    # every package under internal/
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <pkg-dir> [pkg-dir...]  (dir/... recurses)")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range os.Args[1:] {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			sub, err := expand(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doccheck: %d undocumented exported symbols\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// expand returns every directory under root that contains at least one
+// non-test .go file.
+func expand(root string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// checkDir parses every non-test file of one package directory and returns a
+// problem line per undocumented exported symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+						report(d.Pos(), "func "+funcName(d))
+					}
+				case *ast.GenDecl:
+					problems = append(problems, checkGenDecl(fset, d)...)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	t := d.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		b.WriteByte('*')
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+	}
+	b.WriteString(").")
+	b.WriteString(d.Name.Name)
+	return b.String()
+}
+
+// checkGenDecl audits a const/var/type declaration group. A doc comment on
+// the group covers its members; otherwise each exported member needs its own.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				problems = append(problems, checkFields(fset, s.Name.Name, st)...)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "value "+name.Name)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// checkFields audits the exported fields of an exported struct. A field is
+// documented by its own doc comment, a trailing line comment, or a doc
+// comment on an immediately preceding field in the same comment block — the
+// repo's house style groups several fields under one leading comment, which
+// gofmt attaches only to the first field of the group.
+func checkFields(fset *token.FileSet, typeName string, st *ast.StructType) []string {
+	var problems []string
+	covered := false // a doc comment opens a group that covers following fields
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			covered = f.Doc != nil
+			continue
+		}
+		exported := false
+		for _, name := range f.Names {
+			if name.IsExported() {
+				exported = true
+			}
+		}
+		if len(f.Names) == 0 {
+			continue // embedded field: documented by its own type
+		}
+		if exported && !covered {
+			p := fset.Position(f.Pos())
+			problems = append(problems, fmt.Sprintf("%s:%d: field %s.%s has no doc comment",
+				p.Filename, p.Line, typeName, f.Names[0].Name))
+		}
+	}
+	return problems
+}

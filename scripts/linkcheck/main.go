@@ -1,0 +1,112 @@
+// Command linkcheck verifies the repository's markdown cross-references:
+// every relative link target in the given files must exist on disk, and every
+// intra-document anchor (#heading) must match a heading in the linked file.
+// External http(s) links are recognized but not fetched — CI has no network
+// and the check must stay deterministic.
+//
+// Usage:
+//
+//	go run ./scripts/linkcheck README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings; the anchor is derived from the title.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> [file.md...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("linkcheck: %d broken links\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		file, anchor, _ := strings.Cut(target, "#")
+		resolved := path // pure #anchor: same document
+		if file != "" {
+			resolved = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q: %s does not exist", path, target, resolved))
+				continue
+			}
+		}
+		if anchor != "" && strings.HasSuffix(resolved, ".md") {
+			ok, err := hasAnchor(resolved, anchor)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: broken anchor %q: no heading %q in %s", path, target, anchor, resolved))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// hasAnchor reports whether the markdown file contains a heading whose
+// GitHub-style anchor equals the given one.
+func hasAnchor(path, anchor string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range headingRE.FindAllStringSubmatch(string(data), -1) {
+		if slugify(m[1]) == strings.ToLower(anchor) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, spaces
+// to dashes, punctuation dropped.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(title)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -18,6 +18,15 @@
 //	serve -model moe -faults 'fail@2e6:tiles=0-35'
 //	serve -model moe -faults faults.json -compare
 //
+// Multi-tenant serving (-tenants) shares one chip between several models,
+// each with its own SLO and arrival stream (see internal/mtserve for the
+// spec grammar); with -compare it runs the same tenant mix under static
+// partitioning, naive time-slicing and drift-aware re-partitioning:
+//
+//	serve -tenants 'moe:slo=5M:gap=30k,skipnet:slo=8M:gap=60k'
+//	serve -tenants 'fbsnet:gap=37k,dpsnet:gap=36k' -mt-mode timeslice
+//	serve -tenants 'moe,fbsnet:prio=1' -compare
+//
 // Observability: -trace writes a Chrome-trace/Perfetto JSON timeline of the
 // whole run (open in https://ui.perfetto.dev; see internal/telemetry), and
 // -stats-json dumps the final counters/gauges snapshot as JSON:
@@ -39,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/mtserve"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -62,6 +72,10 @@ func main() {
 		cooldown = flag.Int("cooldown", 40, "min batches between re-schedules")
 		warmup   = flag.Int("warmup", 40, "warmup batches profiled before the initial schedule")
 		replay   = flag.String("replay", "", "serve a recorded trace file instead of synthetic arrivals")
+		tenants  = flag.String("tenants", "", "multi-tenant spec, e.g. 'moe:slo=5M:gap=30k,skipnet:slo=8M' (see internal/mtserve)")
+		mtMode   = flag.String("mt-mode", "repartition", "multi-tenant sharing discipline: static, timeslice, repartition")
+		minTiles = flag.Int("mintiles", 0, "smallest partition the multi-tenant controller shrinks a tenant to (0 = default)")
+		starve   = flag.Float64("starve", 0, "queue-pressure spread marking cross-tenant starvation (0 = default)")
 		faultArg = flag.String("faults", "", "fault schedule: a spec string (kind@cycles:k=v,...) or a JSON file")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
 		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
@@ -73,6 +87,65 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if *tenants != "" {
+		if *replay != "" || *statsOut != "" {
+			fmt.Fprintln(os.Stderr, "serve: -replay and -stats-json are single-tenant only (drop -tenants)")
+			os.Exit(1)
+		}
+		// -threshold/-check/-cooldown defaults are tuned for the single-tenant
+		// server; pass them through only when set so mtserve keeps its own.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		mcfg := mtserve.Config{
+			Design:          d,
+			RC:              core.DefaultRunConfig(),
+			MaxBatch:        *maxBatch,
+			QueueCapSamples: *queueCap,
+			MinTiles:        *minTiles,
+			StarvePressure:  *starve,
+		}
+		if set["threshold"] {
+			mcfg.DriftThreshold = *thresh
+		}
+		if set["check"] {
+			mcfg.CheckEvery = *check
+		}
+		if set["cooldown"] {
+			mcfg.CooldownBatches = *cooldown
+		}
+		mcfg.RC.Batch = *maxBatch
+		mcfg.RC.Warmup = *warmup
+		mcfg.RC.Seed = *seed
+		if *faultArg != "" {
+			fs, err := loadFaults(*faultArg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			mcfg.Faults = fs
+		}
+		if *traceOut != "" {
+			mcfg.RC.Trace = telemetry.NewTrace()
+		}
+		def := mtserve.Tenant{
+			SLOCycles:     *slo,
+			MaxWaitCycles: *maxWait,
+			MeanGapCycles: *gap,
+			Requests:      *requests,
+			RateWalkSD:    *ratewalk,
+		}
+		if err := runTenants(os.Stdout, mcfg, *tenants, *mtMode, def, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, mcfg.RC.Trace); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	cfg := serve.Config{
 		Model:           *model,
@@ -257,6 +330,87 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 		})
 	}
 	return nil
+}
+
+// runTenants is the multi-tenant entry point: one sharing discipline, or
+// all three on identical arrival streams under -compare.
+func runTenants(w io.Writer, cfg mtserve.Config, spec, mode string, def mtserve.Tenant, compare bool) error {
+	tens, err := mtserve.ParseSpec(spec, def)
+	if err != nil {
+		return err
+	}
+	if !compare {
+		m, err := mtserve.ParseMode(mode)
+		if err != nil {
+			return err
+		}
+		cfg.Mode = m
+		cfg.Tenants = tens
+		rep, err := mtServeOnce(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+		return nil
+	}
+	modes := []mtserve.Mode{mtserve.ModeStatic, mtserve.ModeTimeSlice, mtserve.ModeRepartition}
+	reps := make([]*mtserve.Report, len(modes))
+	for i, m := range modes {
+		c := cfg
+		c.Mode = m
+		// Per-tenant seeds derive from the spec index, so every mode sees the
+		// same arrival streams; distinct trace names keep the three runs'
+		// recorders apart in a shared -trace file. New mutates tenant specs
+		// (naming, defaults), so each run gets its own copy.
+		c.RC.TraceName = "mt/" + m.String()
+		c.Tenants = append([]mtserve.Tenant(nil), tens...)
+		rep, err := mtServeOnce(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		reps[i] = rep
+		fmt.Fprintln(w, rep)
+	}
+	fmt.Fprintln(w, mtCompareTable(reps[0], reps[1], reps[2], !cfg.Faults.Empty()))
+	return nil
+}
+
+// mtCompareTable renders the three sharing disciplines side by side, with
+// the re-partitioning controller's gain over each baseline as a ratio.
+func mtCompareTable(st, sl, re *mtserve.Report, faulty bool) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Chip sharing disciplines (same tenants, same arrivals, same seed)",
+		Columns: []string{"Metric", "static", "timeslice", "repartition", "vs static", "vs slice"},
+	}
+	ratio := func(repart, base float64) string {
+		if repart == 0 {
+			return "-"
+		}
+		return metrics.F(base/repart, 2) + "x"
+	}
+	t.AddRow("p50 latency", metrics.F(st.Aggregate.P50, 0), metrics.F(sl.Aggregate.P50, 0), metrics.F(re.Aggregate.P50, 0),
+		ratio(re.Aggregate.P50, st.Aggregate.P50), ratio(re.Aggregate.P50, sl.Aggregate.P50))
+	t.AddRow("p99 latency", metrics.F(st.Aggregate.P99, 0), metrics.F(sl.Aggregate.P99, 0), metrics.F(re.Aggregate.P99, 0),
+		ratio(re.Aggregate.P99, st.Aggregate.P99), ratio(re.Aggregate.P99, sl.Aggregate.P99))
+	t.AddRow("mean latency", metrics.F(st.Aggregate.Mean, 0), metrics.F(sl.Aggregate.Mean, 0), metrics.F(re.Aggregate.Mean, 0),
+		ratio(re.Aggregate.Mean, st.Aggregate.Mean), ratio(re.Aggregate.Mean, sl.Aggregate.Mean))
+	t.AddRow("shed", fmt.Sprint(st.Shed), fmt.Sprint(sl.Shed), fmt.Sprint(re.Shed), "", "")
+	t.AddRow("deadline-missed", fmt.Sprint(st.Missed), fmt.Sprint(sl.Missed), fmt.Sprint(re.Missed), "", "")
+	t.AddRow("repartitions", fmt.Sprint(st.Repartitions), fmt.Sprint(sl.Repartitions), fmt.Sprint(re.Repartitions), "", "")
+	t.AddRow("reschedules", fmt.Sprint(st.Reschedules), fmt.Sprint(sl.Reschedules), fmt.Sprint(re.Reschedules), "", "")
+	t.AddRow("reconfig cycles", fmt.Sprint(st.ReconfigCycles), fmt.Sprint(sl.ReconfigCycles), fmt.Sprint(re.ReconfigCycles), "", "")
+	if faulty {
+		t.AddRow("fault events", fmt.Sprint(st.FaultEvents), fmt.Sprint(sl.FaultEvents), fmt.Sprint(re.FaultEvents), "", "")
+	}
+	return t
+}
+
+func mtServeOnce(cfg mtserve.Config) (*mtserve.Report, error) {
+	s, err := mtserve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Serve()
 }
 
 func serveOnce(cfg serve.Config, replay string, requests int, gap, ratewalk float64, seed int64) (*serve.Server, *serve.Report, error) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mtserve"
 	"repro/internal/serve"
 )
 
@@ -71,6 +72,56 @@ func TestRunCompareWithFaults(t *testing.T) {
 	for _, row := range []string{"fault-aware", "health reschedules", "deadline-missed"} {
 		if !strings.Contains(out, row) {
 			t.Fatalf("row %q missing:\n%s", row, out)
+		}
+	}
+}
+
+func mtSmokeConfig() mtserve.Config {
+	cfg := mtserve.Config{
+		Design:   core.DesignAdyna,
+		RC:       core.DefaultRunConfig(),
+		MaxBatch: 8,
+	}
+	cfg.RC.Batch = 8
+	cfg.RC.Warmup = 8
+	cfg.RC.Seed = 1
+	return cfg
+}
+
+func TestRunTenantsSmoke(t *testing.T) {
+	def := mtserve.Tenant{SLOCycles: 5_000_000, MeanGapCycles: 80_000, Requests: 40}
+	var buf bytes.Buffer
+	if err := runTenants(&buf, mtSmokeConfig(), "skipnet,fbsnet:prio=1", "static", def, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Multi-tenant serving (static", "skipnet", "fbsnet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("%q missing from report:\n%s", want, out)
+		}
+	}
+	if err := runTenants(&buf, mtSmokeConfig(), "skipnet", "no-such-mode", def, false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := runTenants(&buf, mtSmokeConfig(), "", "static", def, false); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestRunTenantsCompareSmoke(t *testing.T) {
+	def := mtserve.Tenant{SLOCycles: 5_000_000, MeanGapCycles: 80_000, Requests: 40}
+	var buf bytes.Buffer
+	if err := runTenants(&buf, mtSmokeConfig(), "skipnet,fbsnet", "", def, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Multi-tenant serving (static", "Multi-tenant serving (timeslice",
+		"Multi-tenant serving (repartition", "Chip sharing disciplines",
+		"p99 latency", "repartitions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("%q missing from compare output:\n%s", want, out)
 		}
 	}
 }

@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/models"
 	"repro/internal/workload"
@@ -185,5 +187,126 @@ func TestBaselinesDeterministic(t *testing.T) {
 	}
 	if a.Cycles != b.Cycles || a.HBMBytes != b.HBMBytes {
 		t.Fatal("GPU baseline not deterministic")
+	}
+}
+
+// TestPartitionTilesConservation is the property test of the partitioner's
+// conservation invariant: however wide the wave and however small the chip,
+// the tiles handed out never exceed what the chip has. Small grids make waves
+// wider than the chip (the historical over-provisioning case: every operator
+// floored to one tile with the trim loop bailing out at one), and the default
+// grid keeps the proportional path honest.
+func TestPartitionTilesConservation(t *testing.T) {
+	grids := [][2]int{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}, {12, 12}}
+	for _, name := range models.Names() {
+		for seed := int64(1); seed <= 3; seed++ {
+			w, err := models.ByName(name, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := w.GenTrace(workload.NewSource(seed), 2, 32)
+			for _, b := range tr {
+				units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, grid := range grids {
+					cfg := hw.Default()
+					cfg.TilesX, cfg.TilesY = grid[0], grid[1]
+					for _, wave := range levelize(w.Graph) {
+						tiles := partitionTiles(cfg, w.Graph, wave, units)
+						total := 0
+						for _, id := range wave {
+							if tiles[id] < 0 {
+								t.Fatalf("%s grid %v: op %v got %d tiles", name, grid, id, tiles[id])
+							}
+							total += tiles[id]
+						}
+						if total > cfg.Tiles() {
+							t.Fatalf("%s seed %d grid %v: wave of %d ops uses %d tiles, chip has %d",
+								name, seed, grid, len(wave), total, cfg.Tiles())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildNestedSwitchGraph is a two-level routed graph: the outer switch's
+// second branch contains a whole inner switch/merge. Routing everything down
+// branch 0 leaves the inner control operators with zero units.
+func buildNestedSwitchGraph(t *testing.T) (*graph.Graph, map[string]graph.OpID) {
+	t.Helper()
+	b := graph.NewBuilder("nested", 1)
+	in := b.Input("in", 32, 8)
+	gate := b.Gate("gate", in, 16, 2)
+	br := b.Switch("outer", in, gate, 2)
+	p0 := b.MatMul("b0", br[0], 16, 16)
+	m1 := b.MatMul("b1", br[1], 16, 16)
+	gate2 := b.Gate("gate2", m1, 16, 2)
+	br2 := b.Switch("inner", m1, gate2, 2)
+	c1a := b.MatMul("b1a", br2[0], 16, 16)
+	c1b := b.MatMul("b1b", br2[1], 16, 16)
+	im := b.Merge("inner_merge", br2, c1a, c1b)
+	om := b.Merge("outer_merge", br, p0, im)
+	b.Output("out", om)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]graph.OpID{}
+	for _, op := range g.Ops {
+		ids[op.Name] = op.ID
+	}
+	return g, ids
+}
+
+// TestHostRoutingSkipsGatedControlOps pins the host-routing fix: a switch or
+// merge that sees zero units this batch (its whole branch was gated off) must
+// charge neither the 12k-cycle host round trip nor any gather/scatter
+// traffic. Historically every control operator was charged unconditionally,
+// overpricing M-tenant on routed-off subgraphs.
+func TestHostRoutingSkipsGatedControlOps(t *testing.T) {
+	g, ids := buildNestedSwitchGraph(t)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rt := graph.BatchRouting{
+		ids["outer"]: {Branch: [][]int{all, {}}},
+		ids["inner"]: {Branch: [][]int{{}, {}}},
+	}
+	units, err := g.AssignUnits(8, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units[ids["inner"]] != 0 || units[ids["inner_merge"]] != 0 {
+		t.Fatalf("inner control ops not gated: switch=%d merge=%d",
+			units[ids["inner"]], units[ids["inner_merge"]])
+	}
+	cfg := hw.Default()
+	bw := cfg.HBMBytesPerCycle()
+	gotCycles, gotBytes := hostRoutingCost(g, units, bw)
+	var wantCycles, wantBytes int64
+	for _, name := range []string{"outer", "outer_merge"} {
+		op := g.Op(ids[name])
+		moved := 2 * op.InBytesPerUnit * 8
+		wantCycles += hostRouteCycles + int64(math.Ceil(float64(moved)/bw))
+		wantBytes += moved
+	}
+	if gotCycles != wantCycles || gotBytes != wantBytes {
+		t.Fatalf("host routing charged %d cycles / %d bytes, want %d / %d (active control ops only)",
+			gotCycles, gotBytes, wantCycles, wantBytes)
+	}
+	// Sanity: with the inner branch active the inner control ops are charged.
+	rt2 := graph.BatchRouting{
+		ids["outer"]: {Branch: [][]int{{}, all}},
+		ids["inner"]: {Branch: [][]int{all, {}}},
+	}
+	units2, err := g.AssignUnits(8, rt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := hostRoutingCost(g, units2, bw)
+	if c2 < gotCycles+2*hostRouteCycles {
+		t.Fatalf("active inner branch charged %d cycles, want at least %d", c2, gotCycles+2*hostRouteCycles)
 	}
 }

@@ -79,18 +79,9 @@ func MTenant(cfg hw.Config, w *models.Workload, trace []workload.Batch) (metrics
 			totalCycles += waveCompute + memCycles
 			hbm += waveBytes
 		}
-		// Host-side switch and merge resolution: the host latency per control
-		// operator, plus the gather/scatter kernels that physically reshuffle
-		// the routed tensor through memory (an extra read+write pass the
-		// on-chip dynamic routing of Adyna avoids entirely).
-		for _, op := range g.Ops {
-			if op.Kind != graph.KindSwitch && op.Kind != graph.KindMerge {
-				continue
-			}
-			moved := 2 * op.InBytesPerUnit * int64(units[op.ID])
-			totalCycles += hostRouteCycles + int64(math.Ceil(float64(moved)/bw))
-			hbm += moved
-		}
+		routeCycles, routeBytes := hostRoutingCost(g, units, bw)
+		totalCycles += routeCycles
+		hbm += routeBytes
 		for _, id := range g.ComputeOps() {
 			res.UsefulMACs += g.Op(id).MACsPerUnit * int64(units[id])
 		}
@@ -106,6 +97,28 @@ func MTenant(cfg hw.Config, w *models.Workload, trace []workload.Batch) (metrics
 		res.HBMUtil = float64(hbm) / (bw * float64(totalCycles))
 	}
 	return res, nil
+}
+
+// hostRoutingCost prices one batch's host-side switch and merge resolution:
+// the host latency per control operator, plus the gather/scatter kernels that
+// physically reshuffle the routed tensor through memory (an extra read+write
+// pass the on-chip dynamic routing of Adyna avoids entirely). Control
+// operators that see no units this batch — switches and merges inside a
+// branch the routing gated off entirely — have nothing to resolve: the host
+// never launches them, so they charge neither latency nor traffic.
+func hostRoutingCost(g *graph.Graph, units map[graph.OpID]int, bw float64) (cycles, bytes int64) {
+	for _, op := range g.Ops {
+		if op.Kind != graph.KindSwitch && op.Kind != graph.KindMerge {
+			continue
+		}
+		if units[op.ID] == 0 {
+			continue
+		}
+		moved := 2 * op.InBytesPerUnit * int64(units[op.ID])
+		cycles += hostRouteCycles + int64(math.Ceil(float64(moved)/bw))
+		bytes += moved
+	}
+	return cycles, bytes
 }
 
 // tenantOpCost evaluates one operator on M-tenant. Kernels are optimistically
@@ -151,6 +164,21 @@ func partitionTiles(cfg hw.Config, g *graph.Graph, wave []graph.OpID, units map[
 	}
 	out := map[graph.OpID]int{}
 	total := cfg.Tiles()
+	if len(wave) >= total {
+		// More concurrent tenants than tiles: the first `total` operators in
+		// wave order get a tile each and the rest time-share (a zero entry —
+		// tenantOpCost prices it at a single tile's rate, the serialized
+		// stand-in). Flooring everyone to 1 here would hand out more tiles
+		// than the chip has.
+		for i, id := range wave {
+			if i < total {
+				out[id] = 1
+			} else {
+				out[id] = 0
+			}
+		}
+		return out
+	}
 	assigned := 0
 	for _, id := range wave {
 		t := int(float64(total) * loads[id] / sum)
@@ -160,7 +188,10 @@ func partitionTiles(cfg hw.Config, g *graph.Graph, wave []graph.OpID, units map[
 		out[id] = t
 		assigned += t
 	}
-	// Trim overflow from the largest allocations.
+	// Trim overflow from the largest allocations. Because every operator was
+	// floored to one tile and len(wave) <= total, some allocation above one
+	// tile always remains while assigned > total, so the loop restores the
+	// conservation invariant sum(out) <= total before returning.
 	for assigned > total {
 		big := wave[0]
 		for _, id := range wave {
@@ -169,7 +200,7 @@ func partitionTiles(cfg hw.Config, g *graph.Graph, wave []graph.OpID, units map[
 			}
 		}
 		if out[big] <= 1 {
-			break
+			break // unreachable: len(wave) <= total (defensive)
 		}
 		out[big]--
 		assigned--

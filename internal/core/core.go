@@ -179,6 +179,10 @@ type Setup struct {
 	// was nil). Layers above the machine — the serving loop — add their own
 	// tracks to it.
 	Rec *telemetry.Recorder
+	// Plan is the initial plan loaded into M. Serving layers that evict a
+	// machine's configuration (time-sliced multi-tenancy) re-load it to
+	// charge the context-switch cost of bringing the tenant back on chip.
+	Plan *sched.Plan
 }
 
 // Bringup assembles a machine design the way every runner does before its
@@ -235,7 +239,7 @@ func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy
 	if err := m.LoadPlan(plan); err != nil {
 		return nil, err
 	}
-	return &Setup{W: w, M: m, Policy: pol, Src: src, Rec: rec}, nil
+	return &Setup{W: w, M: m, Policy: pol, Src: src, Rec: rec, Plan: plan}, nil
 }
 
 func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (metrics.RunResult, error) {

@@ -102,6 +102,40 @@ func (m TileMask) Tiles() []int {
 	return out
 }
 
+// RangeTileMask returns the mask with the contiguous tiles
+// [start, start+count) failed. A non-positive count yields the empty mask.
+// Spatial partitioning (internal/mtserve) carves the chip into such runs and
+// masks each tenant's machine with the complement of its own run.
+func RangeTileMask(start, count int) TileMask {
+	if start < 0 {
+		count += start
+		start = 0
+	}
+	if count <= 0 {
+		return ""
+	}
+	b := make([]byte, (start+count-1)/8+1)
+	for t := start; t < start+count; t++ {
+		b[t/8] |= 1 << (t % 8)
+	}
+	return trimMask(b)
+}
+
+// Complement returns the mask marking exactly the tiles of [0, total) that m
+// does not mark. Bits of m at or beyond total are ignored.
+func (m TileMask) Complement(total int) TileMask {
+	if total <= 0 {
+		return ""
+	}
+	b := make([]byte, (total-1)/8+1)
+	for t := 0; t < total; t++ {
+		if !m.Failed(t) {
+			b[t/8] |= 1 << (t % 8)
+		}
+	}
+	return trimMask(b)
+}
+
 // Or returns the union of both masks.
 func (m TileMask) Or(o TileMask) TileMask {
 	if len(o) > len(m) {

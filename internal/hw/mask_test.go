@@ -54,6 +54,49 @@ func TestTileMaskCanonical(t *testing.T) {
 
 func zeroMaskLiteral() TileMask { return "" }
 
+// TestRangeTileMask: contiguous runs build canonically and clamp at zero.
+func TestRangeTileMask(t *testing.T) {
+	if m := RangeTileMask(4, 3); m != NewTileMask(4, 5, 6) {
+		t.Fatalf("RangeTileMask(4,3) = %v", m)
+	}
+	if m := RangeTileMask(0, 0); m != "" {
+		t.Fatalf("empty range not empty: %q", m)
+	}
+	if m := RangeTileMask(7, -2); m != "" {
+		t.Fatalf("negative count not empty: %q", m)
+	}
+	// A negative start clips to tile 0 (the part below zero does not exist).
+	if m := RangeTileMask(-2, 4); m != NewTileMask(0, 1) {
+		t.Fatalf("clipped range = %v", m)
+	}
+	if m := RangeTileMask(0, 144); m.Count() != 144 || m.Max() != 143 {
+		t.Fatalf("full-chip range: count %d max %d", m.Count(), m.Max())
+	}
+}
+
+// TestComplement: a partition's failed mask is the complement of its owned
+// run; complementing twice round-trips within the chip.
+func TestComplement(t *testing.T) {
+	own := RangeTileMask(2, 3) // tiles 2,3,4 of a 8-tile chip
+	rest := own.Complement(8)
+	if rest != NewTileMask(0, 1, 5, 6, 7) {
+		t.Fatalf("complement = %v", rest)
+	}
+	if got := rest.Complement(8); got != own {
+		t.Fatalf("double complement %v != %v", got, own)
+	}
+	if got := TileMask("").Complement(4); got != NewTileMask(0, 1, 2, 3) {
+		t.Fatalf("complement of empty = %v", got)
+	}
+	if got := NewTileMask(0, 1).Complement(0); got != "" {
+		t.Fatalf("complement over empty chip = %q", got)
+	}
+	// Bits beyond total are ignored, keeping the result canonical.
+	if got := NewTileMask(9).Complement(4); got != NewTileMask(0, 1, 2, 3) {
+		t.Fatalf("out-of-range bit leaked: %v", got)
+	}
+}
+
 func TestConfigLiveTiles(t *testing.T) {
 	cfg := Default()
 	if cfg.LiveTiles() != cfg.Tiles() {

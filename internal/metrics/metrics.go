@@ -116,6 +116,23 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// SummarizeAll pools several scalar populations (one per tenant, say) and
+// summarizes their union: the aggregate latency view a multi-tenant compare
+// table quotes. Percentiles are computed over the pooled samples, not
+// averaged across groups — a starved tenant's tail stays visible however
+// small that tenant's share of the traffic is.
+func SummarizeAll(groups ...[]float64) Summary {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	all := make([]float64, 0, n)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	return Summarize(all)
+}
+
 // Table is a simple fixed-width text table (what the experiment binary
 // prints for each figure/table of the paper).
 type Table struct {

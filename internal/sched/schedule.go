@@ -51,6 +51,23 @@ func Schedule(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profiler
 	return plan, nil
 }
 
+// ExpectedWork returns the graph's expected MAC load for one maximum batch
+// under the policy's expectation model: the frequency-weighted per-entity
+// expectation when the policy allocates that way, the worst case otherwise.
+// Multi-tenant partitioning uses it as the demand prior when splitting a
+// chip across models before any runtime measurements exist.
+func ExpectedWork(g *graph.Graph, pol Policy) (float64, error) {
+	ents, order, err := buildEntities(g)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, lead := range order {
+		sum += entityWork(g, ents[lead], pol.FrequencyWeighted)
+	}
+	return sum, nil
+}
+
 // entity is an allocation unit: a lead operator plus fused vector followers.
 type entity struct {
 	lead    graph.OpID

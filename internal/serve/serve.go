@@ -324,15 +324,14 @@ func (s *Server) Serve(src Source) (*Report, error) {
 				s.idleTo(next.Arrival)
 				continue
 			}
-			if more {
-				// The next arrival lands past the wait deadline: idle to the
-				// deadline and fire the partial batch.
-				s.idleTo(fireAt)
-				if int64(m.Now()) < fireAt {
-					continue // stopped at a fault boundary first
-				}
+			// The next arrival (or end of stream) lands past the wait
+			// deadline: idle to the deadline and fire the partial batch. The
+			// stream tail honors the same dual policy as steady state — a
+			// final partial batch waits out MaxWaitCycles like any other.
+			s.idleTo(fireAt)
+			if int64(m.Now()) < fireAt {
+				continue // stopped at a fault boundary first
 			}
-			// Without further arrivals the partial batch flushes immediately.
 		}
 		if err := s.fireBatch(int64(m.Now())); err != nil {
 			return nil, err

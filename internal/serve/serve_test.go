@@ -104,6 +104,30 @@ func TestDualPolicyFiresOnSizeCap(t *testing.T) {
 	}
 }
 
+// TestFinalPartialBatchHonorsWaitDeadline pins the end-of-stream batching
+// policy: the last partial batch idles to the head request's queue-wait
+// deadline exactly like a mid-stream one, instead of flushing the moment the
+// source dries up. (Flushing early batched the tail of every run under a
+// different policy than steady state, skewing -compare tails.)
+func TestFinalPartialBatchHonorsWaitDeadline(t *testing.T) {
+	cfg := quickConfig("skipnet")
+	cfg.SLOCycles = 0
+	cfg.MaxWaitCycles = 2_000_000
+	rep := mustServe(t, cfg, NewSynthetic(1, 10_000, 3, nil))
+	if rep.Batches != 1 || len(rep.Outcomes) != 1 {
+		t.Fatalf("want exactly one batch/outcome, got %d/%d", rep.Batches, len(rep.Outcomes))
+	}
+	o := rep.Outcomes[0]
+	if wait := o.Done - o.Arrival; wait < cfg.MaxWaitCycles {
+		t.Fatalf("final partial batch fired after %d cycles, want at least the %d-cycle wait deadline",
+			wait, cfg.MaxWaitCycles)
+	}
+	if rep.FinalCycles < o.Arrival+cfg.MaxWaitCycles {
+		t.Fatalf("stream drained at %d, before the tail's wait deadline %d",
+			rep.FinalCycles, o.Arrival+cfg.MaxWaitCycles)
+	}
+}
+
 // TestOverloadSheds overdrives the server and checks bounded-queue shedding
 // kicks in rather than queueing without bound.
 func TestOverloadSheds(t *testing.T) {

@@ -15,8 +15,11 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/plancache"
 	"repro/internal/power"
+	"repro/internal/profiler"
 	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 // quick returns the reduced-scale options shared by all benches.
@@ -250,6 +253,60 @@ func benchPolicyAblation(b *testing.B, model, metric string, disable func(*sched
 		gain = on.SpeedupOver(off)
 	}
 	b.ReportMetric(gain, metric)
+}
+
+// replanInputs builds the scheduler inputs of a representative online
+// re-plan: the drifting MoE with a warmed profile on the default chip.
+func replanInputs(b *testing.B) (hw.Config, *models.Workload, *profiler.Profiler) {
+	b.Helper()
+	w, err := models.ByName("tutel-moe", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profiler.New(w.Graph)
+	src := workload.NewSource(1)
+	for _, batch := range w.GenTrace(src, 24, 32) {
+		units, err := w.Graph.AssignUnits(batch.Units, batch.Routing)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := prof.ObserveBatch(units, batch.Routing); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return hw.Default(), w, prof
+}
+
+// BenchmarkScheduleReplan measures the cost the plan cache exists to avoid:
+// one full sched.Schedule solve at a live profile — what every drift or fault
+// re-plan pays without the cache.
+func BenchmarkScheduleReplan(b *testing.B) {
+	cfg, w, prof := replanInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Schedule(cfg, w.Graph, sched.Adyna(), prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheLookup measures the replacement cost: a warm exact-key
+// cache lookup at the identical inputs (one profile hash plus a map probe).
+func BenchmarkPlanCacheLookup(b *testing.B) {
+	cfg, w, prof := replanInputs(b)
+	c := plancache.New(plancache.NewKeyer(w.Graph, 0), plancache.Config{})
+	if _, _, err := c.GetOrSchedule(cfg, w.Graph, sched.Adyna(), prof); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, kind, err := c.GetOrSchedule(cfg, w.Graph, sched.Adyna(), prof)
+		if err != nil || kind != plancache.HitExact || plan == nil {
+			b.Fatalf("warm lookup: kind=%v err=%v", kind, err)
+		}
+	}
 }
 
 // BenchmarkAllModelsAdyna is a throughput smoke bench: simulate every

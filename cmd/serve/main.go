@@ -11,6 +11,15 @@
 //	serve -replay trace.json -gap 500000       # serve a recorded trace
 //	serve -model moe -reschedule=false         # static plan forever
 //
+// The plan-variant cache (-plancache, see internal/plancache) turns re-plans
+// into lookups: ahead-of-time precompute at bring-up plus an online cache,
+// with -hostresched charging the solver's latency into virtual time on every
+// miss. With -compare it pits cached dispatch against fresh-solve adaptive
+// serving on the same arrivals:
+//
+//	serve -model moe -ratewalk 0.1 -plancache -hostresched 500000
+//	serve -model moe -plancache -compare
+//
 // Fault injection (degraded-mode serving) takes a spec string or a JSON
 // schedule file; with -compare it pits fault-aware re-scheduling against a
 // frozen plan on the same faulty chip:
@@ -77,6 +86,12 @@ func main() {
 		minTiles = flag.Int("mintiles", 0, "smallest partition the multi-tenant controller shrinks a tenant to (0 = default)")
 		starve   = flag.Float64("starve", 0, "queue-pressure spread marking cross-tenant starvation (0 = default)")
 		faultArg = flag.String("faults", "", "fault schedule: a spec string (kind@cycles:k=v,...) or a JSON file")
+		pcOn     = flag.Bool("plancache", false, "plan-variant cache: dispatch cached plans on re-schedule instead of solving fresh")
+		pcNear   = flag.Bool("plancache-nearest", true, "allow nearest-profile cache hits within -plancache-maxdist")
+		pcAOT    = flag.Bool("plancache-aot", true, "precompute plan variants at bring-up (profile lattice + fault windows)")
+		pcDist   = flag.Float64("plancache-maxdist", 0, "max quantized-profile distance for a nearest hit (0 = default)")
+		pcTiles  = flag.Bool("plancache-aot-tiles", false, "AOT additionally pre-solves every single-tile-loss variant")
+		hostCyc  = flag.Int64("hostresched", 0, "host solve latency charged into virtual time per plan-cache miss (cycles)")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
 		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
 		statsOut = flag.String("stats-json", "", "write the final counters/gauges snapshot as JSON to this file ('-' for stdout)")
@@ -98,12 +113,17 @@ func main() {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		mcfg := mtserve.Config{
-			Design:          d,
-			RC:              core.DefaultRunConfig(),
-			MaxBatch:        *maxBatch,
-			QueueCapSamples: *queueCap,
-			MinTiles:        *minTiles,
-			StarvePressure:  *starve,
+			Design:            d,
+			RC:                core.DefaultRunConfig(),
+			MaxBatch:          *maxBatch,
+			QueueCapSamples:   *queueCap,
+			MinTiles:          *minTiles,
+			StarvePressure:    *starve,
+			PlanCache:         *pcOn,
+			PlanCacheNearest:  *pcNear,
+			PlanCacheMaxDist:  *pcDist,
+			PlanCacheAOT:      *pcAOT,
+			HostReschedCycles: *hostCyc,
 		}
 		if set["threshold"] {
 			mcfg.DriftThreshold = *thresh
@@ -148,17 +168,23 @@ func main() {
 		return
 	}
 	cfg := serve.Config{
-		Model:           *model,
-		Design:          d,
-		RC:              core.DefaultRunConfig(),
-		MaxBatch:        *maxBatch,
-		MaxWaitCycles:   *maxWait,
-		SLOCycles:       *slo,
-		QueueCapSamples: *queueCap,
-		Reschedule:      *resched,
-		DriftThreshold:  *thresh,
-		CheckEvery:      *check,
-		CooldownBatches: *cooldown,
+		Model:                  *model,
+		Design:                 d,
+		RC:                     core.DefaultRunConfig(),
+		MaxBatch:               *maxBatch,
+		MaxWaitCycles:          *maxWait,
+		SLOCycles:              *slo,
+		QueueCapSamples:        *queueCap,
+		Reschedule:             *resched,
+		DriftThreshold:         *thresh,
+		CheckEvery:             *check,
+		CooldownBatches:        *cooldown,
+		PlanCache:              *pcOn,
+		PlanCacheNearest:       *pcNear,
+		PlanCacheMaxDist:       *pcDist,
+		PlanCacheAOT:           *pcAOT,
+		PlanCacheAOTSingleTile: *pcTiles,
+		HostReschedCycles:      *hostCyc,
 	}
 	cfg.RC.Batch = *maxBatch
 	cfg.RC.Warmup = *warmup
@@ -283,11 +309,29 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 		return nil
 	}
 	on, off := cfg, cfg
-	on.Reschedule, off.Reschedule = true, false
+	on.Reschedule = true
+	title := "Drift-triggered re-scheduling vs static plan (same arrivals, same seed)"
+	adaptive, baseline := "reschedule", "static"
+	onName, offName := "adaptive", "static"
+	if cfg.PlanCache {
+		// With the plan cache on, the interesting baseline is not a frozen
+		// plan but the same adaptive policy paying a fresh solve per trigger.
+		off.Reschedule = true
+		off.PlanCache = false
+		title = "Plan-cache dispatch vs fresh-solve re-scheduling (same arrivals, same seed)"
+		adaptive, baseline = "cached", "fresh"
+		onName, offName = "cached", "fresh"
+	} else {
+		off.Reschedule = false
+		if !cfg.Faults.Empty() {
+			title = "Fault-aware re-scheduling vs frozen plan (same arrivals, same faults, same seed)"
+			adaptive = "fault-aware"
+		}
+	}
 	// The two runs share a design/model pair; explicit trace names keep their
 	// recorders apart in the merged -trace file.
-	on.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/adaptive"
-	off.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/static"
+	on.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/" + onName
+	off.RC.TraceName = string(cfg.Design) + "/" + cfg.Model + "/" + offName
 	srvOn, repOn, err := serveOnce(on, replay, requests, gap, ratewalk, seed)
 	if err != nil {
 		return err
@@ -298,15 +342,9 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 	}
 	fmt.Fprintln(w, repOn)
 	fmt.Fprintln(w, repOff)
-	title := "Drift-triggered re-scheduling vs static plan (same arrivals, same seed)"
-	adaptive := "reschedule"
-	if !cfg.Faults.Empty() {
-		title = "Fault-aware re-scheduling vs frozen plan (same arrivals, same faults, same seed)"
-		adaptive = "fault-aware"
-	}
 	t := &metrics.Table{
 		Title:   title,
-		Columns: []string{"Metric", adaptive, "static", "improvement"},
+		Columns: []string{"Metric", adaptive, baseline, "improvement"},
 	}
 	ratio := func(a, b float64) string {
 		if a == 0 {
@@ -323,10 +361,14 @@ func run(w io.Writer, cfg serve.Config, replay string, requests int, gap, ratewa
 	if !cfg.Faults.Empty() {
 		t.AddRow("health reschedules", fmt.Sprint(repOn.HealthReschedules), fmt.Sprint(repOff.HealthReschedules), "")
 	}
+	if cfg.PlanCache {
+		t.AddRow("plan-cache hits", fmt.Sprint(repOn.PlanCacheExact+repOn.PlanCacheNearest), "0", "")
+		t.AddRow("host solve cycles", fmt.Sprint(repOn.HostSolveCycles), fmt.Sprint(repOff.HostSolveCycles), "")
+	}
 	fmt.Fprintln(w, t)
 	if statsOut != "" {
 		return writeStats(statsOut, map[string]serve.Snapshot{
-			"adaptive": srvOn.Snapshot(), "static": srvOff.Snapshot(),
+			onName: srvOn.Snapshot(), offName: srvOff.Snapshot(),
 		})
 	}
 	return nil

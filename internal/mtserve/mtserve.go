@@ -30,6 +30,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/plancache"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -112,6 +113,23 @@ type Config struct {
 	DriftThreshold  float64
 	CheckEvery      int
 	CooldownBatches int
+
+	// PlanCache gives every tenant a plan-variant cache (tenants of one
+	// model share a keyer): repartition and fault re-plans become lookups
+	// when a tenant returns to a previously-seen partition and profile.
+	PlanCache bool
+	// PlanCacheNearest allows approximate hits within PlanCacheMaxDist
+	// (default 0.04) of a cached profile.
+	PlanCacheNearest bool
+	// PlanCacheMaxDist bounds a nearest hit (default 0.04).
+	PlanCacheMaxDist float64
+	// PlanCacheAOT precomputes each tenant's cache at bring-up (profile
+	// lattice plus the fault schedule's windows over the initial partition).
+	PlanCacheAOT bool
+	// HostReschedCycles charges the host-side solve latency of a re-plan
+	// into the tenant's virtual time on every cache miss (or always, with
+	// the cache off). Zero keeps re-plans free, as before.
+	HostReschedCycles int64
 	// StarvePressure is the queue-pressure spread — max minus min of
 	// queued/capacity across live tenants — that marks one tenant as
 	// starving another (default 0.5).
@@ -177,9 +195,15 @@ type TenantReport struct {
 	Batches, Reschedules int
 	// FaultEvents counts capability changes this tenant observed.
 	FaultEvents int
+	// PlanCacheExact, PlanCacheNearest and PlanCacheMisses split this
+	// tenant's re-plans by plan-cache outcome (all zero with the cache off).
+	PlanCacheExact, PlanCacheNearest, PlanCacheMisses int
 	// ReconfigCycles is this tenant's machine time spent in plan swaps and
 	// time-slice context switches.
 	ReconfigCycles int64
+	// HostSolveCycles is the virtual time this tenant spent stalled on
+	// host-side solves (HostReschedCycles per cache miss).
+	HostSolveCycles int64
 	// FinalCycles is the tenant's clock when its stream drained.
 	FinalCycles int64
 	// Latency summarizes completion latency over executed requests.
@@ -203,8 +227,13 @@ type Report struct {
 	Repartitions, Reschedules int
 	// FaultEvents sums the per-tenant capability-change observations.
 	FaultEvents int
+	// PlanCacheHits and PlanCacheMisses sum the per-tenant plan-cache
+	// outcomes (exact and nearest hits pooled).
+	PlanCacheHits, PlanCacheMisses int
 	// ReconfigCycles sums the per-tenant reconfiguration charges.
 	ReconfigCycles int64
+	// HostSolveCycles sums the per-tenant host-solve stalls.
+	HostSolveCycles int64
 	// Aggregate pools every tenant's executed-request latencies into one
 	// distribution (metrics.SummarizeAll), so a starved tenant's tail stays
 	// visible in the headline percentiles.
@@ -231,6 +260,12 @@ func (r *Report) String() string {
 		r.Repartitions, r.Reschedules, r.ReconfigCycles)
 	if r.FaultEvents > 0 {
 		fmt.Fprintf(&b, " fault-events=%d", r.FaultEvents)
+	}
+	if r.PlanCacheHits+r.PlanCacheMisses > 0 {
+		fmt.Fprintf(&b, " plan-cache=%d/%d", r.PlanCacheHits, r.PlanCacheHits+r.PlanCacheMisses)
+	}
+	if r.HostSolveCycles > 0 {
+		fmt.Fprintf(&b, " host-solve=%d", r.HostSolveCycles)
 	}
 	fmt.Fprintf(&b, " final-clock=%d\n", r.FinalCycles)
 	return b.String()
@@ -274,6 +309,10 @@ type tenantState struct {
 	winSamples int
 	demandEst  float64
 
+	// pcache is the tenant's plan-variant cache (nil with Config.PlanCache
+	// off); tenants of the same model share the keyer underneath.
+	pcache *plancache.Cache
+
 	rep        TenantReport
 	rec        *telemetry.Recorder
 	serveTrack telemetry.TrackID
@@ -315,6 +354,10 @@ type Server struct {
 	// health is the controller's own fault tracker (the per-tenant trackers
 	// apply capability; this one reads the global state at barrier time).
 	health *faults.State
+
+	// keyers holds one plan-cache keyer per model name, shared by every
+	// tenant of that model (nil with the plan cache off).
+	keyers map[string]*plancache.Keyer
 
 	fired        int
 	sinceRepart  int
@@ -476,6 +519,7 @@ func (s *Server) bringupTenant(i int, t Tenant, count int, assign []hw.TileMask)
 			ts.faultTrack = ts.rec.Track("faults")
 		}
 	}
+	s.setupPlanCache(ts, rcT.HW)
 	return ts, nil
 }
 
@@ -546,7 +590,10 @@ func (s *Server) report() *Report {
 		rep.Shed += ts.rep.Shed
 		rep.Batches += ts.rep.Batches
 		rep.FaultEvents += ts.rep.FaultEvents
+		rep.PlanCacheHits += ts.rep.PlanCacheExact + ts.rep.PlanCacheNearest
+		rep.PlanCacheMisses += ts.rep.PlanCacheMisses
 		rep.ReconfigCycles += ts.rep.ReconfigCycles
+		rep.HostSolveCycles += ts.rep.HostSolveCycles
 		if ts.rep.FinalCycles > rep.FinalCycles {
 			rep.FinalCycles = ts.rep.FinalCycles
 		}
@@ -844,9 +891,11 @@ func (s *Server) applyTenantFaults(ts *tenantState, now int64) error {
 	// The running plan was scheduled for the pre-fault tile set; re-plan over
 	// the survivors so every sharing mode stays fault-adaptive within its own
 	// discipline (the repartition controller may move tiles again right
-	// after).
+	// after). With the plan cache on, a capability the cache has seen — an
+	// AOT-precomputed fault window, or a brownout repairing back — is a
+	// lookup, not a solve.
 	effCap := faults.Capability{Failed: eff, NoC: cap.NoC, HBM: ts.share * cap.HBM}
-	plan, err := sched.Schedule(effCap.Apply(s.base), ts.setup.W.Graph, ts.setup.Policy, m.Profiler())
+	plan, _, err := s.lookupOrSchedule(ts, effCap.Apply(s.base))
 	if err != nil {
 		return fmt.Errorf("mtserve: re-planning tenant %s after fault: %w", ts.ten.Name, err)
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/hw"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -208,7 +207,10 @@ func (s *Server) applyPartition(ts *tenantState, owned hw.TileMask, count, liveT
 		HBM:    share * cap.HBM,
 	}
 	m := ts.setup.M
-	plan, err := sched.Schedule(eff.Apply(s.base), ts.setup.W.Graph, ts.setup.Policy, m.Profiler())
+	// With the plan cache on, a tenant returning to a previously-held
+	// partition (same mask and share, near-enough profile) dispatches its
+	// cached plan instead of re-running the scheduler.
+	plan, _, err := s.lookupOrSchedule(ts, eff.Apply(s.base))
 	if err != nil {
 		return err
 	}

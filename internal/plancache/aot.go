@@ -1,0 +1,305 @@
+package plancache
+
+import (
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+)
+
+// AOT precompute: the DyCL move applied to whole plans. At bring-up the
+// serving layer knows two things the runtime will later pay to rediscover —
+// how the routing distribution can tilt (along each switch's branch simplex)
+// and which degraded chips it may wake up on (the fault schedule's known
+// windows, single-tile losses). Precompute solves those variants while the
+// machine is still cold and stores them, so the first drift excursion or
+// capability change dispatches a cached plan instead of stalling on a fresh
+// solve. Synthetic profiles are fed to a scratch profiler over cloned
+// frequency tables; the live graph and profiler are left untouched.
+
+// AOTConfig parameterizes Precompute.
+type AOTConfig struct {
+	// TiltLevels are the interpolation weights walked from the base profile
+	// toward each branch's simplex corner (default 0.35 and 0.7).
+	TiltLevels []float64
+	// Batches is the synthetic observation window fed per lattice point
+	// (default 40, the paper's reconfiguration period).
+	Batches int
+	// BatchUnits is the unit count of each synthetic batch (default 32 *
+	// the graph's units per sample).
+	BatchUnits int
+	// Faults optionally contributes the schedule's degraded configurations:
+	// every distinct capability the schedule will produce is solved at the
+	// base profile. Capabilities are applied to the base config exactly the
+	// way the serving layer's live-hardware derivation applies them.
+	Faults *faults.Schedule
+	// ExtraConfigs lists additional hardware variants to pre-solve at the
+	// base profile — callers whose runtime composes capabilities differently
+	// (the multi-tenant layer folds partition masks and HBM shares in) pass
+	// their own effective configs here.
+	ExtraConfigs []hw.Config
+	// SingleTileLoss additionally solves every single-tile-failure variant
+	// of the base config (one solve per live tile — thorough, but the
+	// expensive option).
+	SingleTileLoss bool
+}
+
+func (a *AOTConfig) defaults(g *graph.Graph) {
+	if len(a.TiltLevels) == 0 {
+		a.TiltLevels = []float64{0.35, 0.7}
+	}
+	if a.Batches <= 0 {
+		a.Batches = 40
+	}
+	if a.BatchUnits <= 0 {
+		ups := g.UnitsPerSample
+		if ups <= 0 {
+			ups = 1
+		}
+		a.BatchUnits = 32 * ups
+	}
+}
+
+// Precompute populates the cache ahead of time from the given base inputs:
+// one plan per profile-lattice point (each switch's branch simplex walked at
+// the configured tilt levels, other switches held at the base profile) and
+// one plan per likely degraded hardware config (the fault schedule's
+// capability windows, plus every single-tile loss when requested) at the
+// base profile. Points whose fingerprint is already cached are skipped, and
+// points the scheduler rejects (for example a degraded chip too small for
+// the policy) are silently dropped — precompute is best-effort coverage, not
+// a correctness gate. Returns the number of plans added.
+func (c *Cache) Precompute(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler, ao AOTConfig) int {
+	ao.defaults(g)
+	added := 0
+
+	// Degraded hardware variants, solved from the live profile.
+	for _, dcfg := range c.degradedConfigs(cfg, ao) {
+		k := c.keyer.makeKey(dcfg, g, pol, prof)
+		if _, ok := c.peek(k); ok {
+			continue
+		}
+		plan, err := sched.Schedule(dcfg, g, pol, prof)
+		if err != nil {
+			continue
+		}
+		c.put(k, plan, true)
+		added++
+	}
+
+	// Profile lattice, solved at the base config over synthetic profiles.
+	base := c.baseShares(prof)
+	for si := range c.keyer.sws {
+		for b := 0; b < c.keyer.nb[si]; b++ {
+			for _, tilt := range ao.TiltLevels {
+				shares := tiltShares(base, si, b, tilt)
+				if c.precomputePoint(cfg, g, pol, shares, ao) {
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// peek reports whether a fingerprint-identical entry exists, without
+// touching the hit/miss counters.
+func (c *Cache) peek(k key) (*sched.Plan, bool) {
+	b := c.buckets[k.scope]
+	if b == nil {
+		return nil, false
+	}
+	e, ok := b.byFP[k.fp]
+	if !ok {
+		return nil, false
+	}
+	return e.plan, true
+}
+
+// degradedConfigs enumerates the hardware variants worth pre-solving: every
+// distinct capability the fault schedule steps through, and optionally every
+// single-tile loss.
+func (c *Cache) degradedConfigs(cfg hw.Config, ao AOTConfig) []hw.Config {
+	var out []hw.Config
+	seen := map[hw.Config]bool{cfg: true}
+	add := func(dc hw.Config) {
+		if !seen[dc] {
+			seen[dc] = true
+			out = append(out, dc)
+		}
+	}
+	if !ao.Faults.Empty() {
+		st := faults.NewState(ao.Faults)
+		t := int64(0)
+		for {
+			nc, ok := st.NextChange(t)
+			if !ok {
+				break
+			}
+			cap, _ := st.At(nc)
+			add(cap.Apply(cfg))
+			t = nc
+		}
+	}
+	if ao.SingleTileLoss {
+		for t := 0; t < cfg.Tiles(); t++ {
+			if cfg.TileFailed(t) {
+				continue
+			}
+			dc := cfg
+			dc.FailedTiles = cfg.FailedTiles.Or(hw.NewTileMask(t))
+			add(dc)
+		}
+	}
+	for _, dc := range ao.ExtraConfigs {
+		add(dc)
+	}
+	return out
+}
+
+// baseShares snapshots the live per-switch unit-share vectors the lattice
+// tilts away from; switches with no observed volume fall back to uniform.
+func (c *Cache) baseShares(prof *profiler.Profiler) [][]float64 {
+	base := make([][]float64, len(c.keyer.sws))
+	for i, sw := range c.keyer.sws {
+		v := make([]float64, c.keyer.nb[i])
+		total := 0.0
+		for b := range v {
+			v[b] = prof.BranchUnitShare(sw, b)
+			total += v[b]
+		}
+		if total <= 0 {
+			for b := range v {
+				v[b] = 1 / float64(len(v))
+			}
+		}
+		base[i] = v
+	}
+	return base
+}
+
+// tiltShares interpolates the base profile toward switch si's branch-b
+// simplex corner: shares' = (1-tilt)*base + tilt*e_b on that switch, base
+// elsewhere.
+func tiltShares(base [][]float64, si, b int, tilt float64) [][]float64 {
+	out := make([][]float64, len(base))
+	for i, v := range base {
+		if i != si {
+			out[i] = v
+			continue
+		}
+		t := make([]float64, len(v))
+		for k := range v {
+			t[k] = (1 - tilt) * v[k]
+		}
+		t[b] += tilt
+		out[i] = t
+	}
+	return out
+}
+
+// precomputePoint synthesizes one profile lattice point — a scratch profiler
+// fed Batches synthetic batches routed to the target shares over cloned
+// frequency tables — solves it, and stores the plan. Returns whether a plan
+// was added.
+func (c *Cache) precomputePoint(cfg hw.Config, g *graph.Graph, pol sched.Policy, shares [][]float64, ao AOTConfig) bool {
+	rt := c.synthRouting(shares, ao.BatchUnits)
+	units, err := g.AssignUnits(ao.BatchUnits, rt)
+	if err != nil {
+		return false
+	}
+	// Swap every dynamic operator's frequency table for a clone so the
+	// synthetic observations never touch live profile state.
+	orig := make([]*graph.FreqTable, len(c.keyer.dyn))
+	for i, id := range c.keyer.dyn {
+		orig[i] = g.Op(id).Freq
+		if orig[i] != nil {
+			g.Op(id).Freq = orig[i].Clone()
+		}
+	}
+	defer func() {
+		for i, id := range c.keyer.dyn {
+			g.Op(id).Freq = orig[i]
+		}
+	}()
+	sp := profiler.New(g)
+	for b := 0; b < ao.Batches; b++ {
+		if err := sp.ObserveBatch(units, rt); err != nil {
+			return false
+		}
+	}
+	k := c.keyer.makeKey(cfg, g, pol, sp)
+	if _, ok := c.peek(k); ok {
+		return false
+	}
+	plan, err := sched.Schedule(cfg, g, pol, sp)
+	if err != nil {
+		return false
+	}
+	c.put(k, plan, true)
+	return true
+}
+
+// synthRouting builds one batch's routing hitting the target per-switch
+// branch shares: each switch's units are apportioned by largest remainder
+// and assigned as contiguous index runs.
+func (c *Cache) synthRouting(shares [][]float64, units int) graph.BatchRouting {
+	rt := graph.BatchRouting{}
+	for i, sw := range c.keyer.sws {
+		counts := apportion(shares[i], units)
+		br := make([][]int, len(counts))
+		idx := 0
+		for b, n := range counts {
+			if n == 0 {
+				continue
+			}
+			run := make([]int, n)
+			for j := range run {
+				run[j] = idx
+				idx++
+			}
+			br[b] = run
+		}
+		rt[sw] = graph.Routing{Branch: br}
+	}
+	return rt
+}
+
+// apportion splits units across branches proportionally to shares, summing
+// exactly to units (largest-remainder rounding, lower index wins ties).
+func apportion(shares []float64, units int) []int {
+	counts := make([]int, len(shares))
+	total := 0.0
+	for _, s := range shares {
+		if s > 0 {
+			total += s
+		}
+	}
+	if total <= 0 || units <= 0 {
+		return counts
+	}
+	assigned := 0
+	rem := make([]float64, len(shares))
+	for i, s := range shares {
+		if s < 0 {
+			s = 0
+		}
+		exact := s / total * float64(units)
+		counts[i] = int(exact)
+		rem[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < units {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		assigned++
+	}
+	return counts
+}

@@ -1,0 +1,91 @@
+package plancache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/sched"
+)
+
+// Cache persistence: a warmed cache is worth carrying across process
+// restarts (and, for the fleet item, across replicas serving the same
+// model), so Export/Import serialize the whole entry set. Plans reuse the
+// sched JSON codec — the same Encode/Decode round-trip the fuzz corpus
+// locks down, including plans built for degraded tile masks. The tile mask
+// is carried as its tile list: the string-backed mask holds raw bytes that
+// would not survive a JSON string.
+
+type entryJSON struct {
+	Config      hw.Config       `json:"config"`
+	FailedTiles []int           `json:"failed_tiles,omitempty"`
+	Policy      sched.Policy    `json:"policy"`
+	Profile     []byte          `json:"profile"`
+	FP          uint64          `json:"fp"`
+	AOT         bool            `json:"aot,omitempty"`
+	Plan        json.RawMessage `json:"plan"`
+}
+
+type cacheJSON struct {
+	Levels  int         `json:"levels"`
+	Entries []entryJSON `json:"entries"`
+}
+
+// Export writes every cached entry as JSON, in insertion order.
+func (c *Cache) Export(w io.Writer) error {
+	out := cacheJSON{Levels: c.keyer.levels, Entries: make([]entryJSON, 0, len(c.order))}
+	for _, e := range c.order {
+		var buf bytes.Buffer
+		if err := e.plan.Encode(&buf); err != nil {
+			return fmt.Errorf("plancache: export: %w", err)
+		}
+		cfg := e.key.cfg
+		tiles := cfg.FailedTiles.Tiles()
+		cfg.FailedTiles = ""
+		out.Entries = append(out.Entries, entryJSON{
+			Config:      cfg,
+			FailedTiles: tiles,
+			Policy:      e.key.pol,
+			Profile:     []byte(e.key.profile),
+			FP:          e.key.fp,
+			AOT:         e.aot,
+			Plan:        json.RawMessage(buf.Bytes()),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Import loads entries exported by Export into the cache, decoding plans
+// against g (which must be the graph the cache's keyer was built for). The
+// exporting cache must have used the same quantization levels. Entries whose
+// fingerprint is already present are skipped.
+func (c *Cache) Import(r io.Reader, g *graph.Graph) (int, error) {
+	var in cacheJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return 0, fmt.Errorf("plancache: import: %w", err)
+	}
+	if in.Levels != c.keyer.levels {
+		return 0, fmt.Errorf("plancache: import: quantization levels %d != cache's %d", in.Levels, c.keyer.levels)
+	}
+	added := 0
+	for i, e := range in.Entries {
+		plan, err := sched.DecodePlan(bytes.NewReader(e.Plan), g)
+		if err != nil {
+			return added, fmt.Errorf("plancache: import entry %d: %w", i, err)
+		}
+		cfg := e.Config
+		cfg.FailedTiles = hw.NewTileMask(e.FailedTiles...)
+		k := key{scope: scope{cfg: cfg, pol: e.Policy}, profile: string(e.Profile), fp: e.FP}
+		if _, ok := c.peek(k); ok {
+			continue
+		}
+		c.put(k, plan, e.AOT)
+		added++
+	}
+	return added, nil
+}

@@ -1,0 +1,398 @@
+// Package plancache turns re-scheduling into a lookup. Every drift re-plan,
+// fault re-plan and multi-tenant repartition runs the full sched.Schedule
+// pipeline from scratch — the dominant host-side wall-clock cost of serving,
+// and (once charged honestly into virtual time) the reason drift thresholds
+// must stay conservative. The cache keys complete plans by everything the
+// scheduler actually reads — the hardware config (tile mask + bandwidth
+// derates included), the policy, and the live profile — so a re-plan whose
+// inputs were seen before returns the stored *sched.Plan and charges only the
+// LoadPlan drain+reload, the DyCL-style compile/dispatch split applied to
+// whole schedules.
+//
+// Two hit grades. An exact hit matches a fingerprint over the full profile
+// state (batch count, per-branch unit shares, active fractions, co-activation
+// counters, and every dynamic operator's frequency table) — identical
+// scheduler inputs, so the cached plan is byte-identical to solving fresh. A
+// nearest hit (opt-in) matches the closest cached profile within a bounded
+// mean absolute per-dimension distance in quantized-snapshot space —
+// approximate, bounded by the same units the drift detector thresholds in.
+//
+// The cache is populated online (every miss stores its solve) and ahead of
+// time: Precompute walks each switch's branch simplex and the fault
+// schedule's known degraded configurations at bring-up, so the first drift
+// excursion or tile loss can already dispatch instead of solve.
+//
+// Like the rest of the serving stack the cache is single-threaded: it is not
+// safe for concurrent use.
+package plancache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+)
+
+// HitKind classifies a Lookup outcome.
+type HitKind uint8
+
+// The lookup outcomes.
+const (
+	// Miss: no cached plan usable; the caller must solve fresh.
+	Miss HitKind = iota
+	// HitExact: the full profile fingerprint matched — the cached plan is
+	// identical to what a fresh solve would produce.
+	HitExact
+	// HitNearest: a cached profile within the distance budget matched — the
+	// plan is approximate (built from a nearby profile).
+	HitNearest
+)
+
+// String returns the hit kind as a stable trace-arg label.
+func (k HitKind) String() string {
+	switch k {
+	case HitExact:
+		return "exact"
+	case HitNearest:
+		return "nearest"
+	}
+	return "miss"
+}
+
+// Hit reports whether the lookup avoided a solve.
+func (k HitKind) Hit() bool { return k != Miss }
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Levels is the quantization resolution per profile dimension for the
+	// nearest-matching snapshot (default 32, max 255).
+	Levels int
+	// Nearest enables approximate hits: the closest cached profile under the
+	// same hardware config and policy matches when within MaxDist.
+	Nearest bool
+	// MaxDist bounds a nearest hit: the mean absolute per-dimension
+	// difference between the live and cached profile snapshots, in the same
+	// units as the serving layer's drift threshold (default 0.04).
+	MaxDist float64
+	// MaxEntries bounds the cache; beyond it the oldest online entry is
+	// evicted first (AOT-precomputed entries survive until only they remain).
+	// Default 512.
+	MaxEntries int
+}
+
+func (c *Config) defaults() {
+	if c.Levels <= 0 {
+		c.Levels = 32
+	}
+	if c.Levels > 255 {
+		c.Levels = 255
+	}
+	if c.MaxDist <= 0 {
+		c.MaxDist = 0.04
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 512
+	}
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	// ExactHits, NearestHits and Misses count Lookup outcomes; Hits is their
+	// hit-side sum.
+	ExactHits, NearestHits, Misses int64
+	// Entries is the current size; AOTEntries how many of them came from
+	// Precompute; Evictions how many entries the size bound pushed out.
+	Entries, AOTEntries int
+	// Evictions counts entries dropped by the MaxEntries bound.
+	Evictions int64
+}
+
+// Hits returns ExactHits + NearestHits.
+func (s Stats) Hits() int64 { return s.ExactHits + s.NearestHits }
+
+// Keyer derives cache keys from a profiler snapshot. It fixes the switch and
+// dynamic-operator enumeration order at construction, so per-tenant caches
+// over separate graph instances of the same model can share one keyer (the
+// builder assigns identical OpIDs to identical model constructions).
+type Keyer struct {
+	levels int
+	sws    []graph.OpID
+	nb     []int
+	dyn    []graph.OpID
+	dims   int
+}
+
+// NewKeyer builds a keyer for graphs shaped like g, quantizing profile
+// snapshots to the given number of levels per dimension (<=0: default 32).
+func NewKeyer(g *graph.Graph, levels int) *Keyer {
+	if levels <= 0 {
+		levels = 32
+	}
+	if levels > 255 {
+		levels = 255
+	}
+	k := &Keyer{levels: levels, sws: g.Switches(), dyn: g.DynamicOps()}
+	k.nb = make([]int, len(k.sws))
+	for i, sw := range k.sws {
+		k.nb[i] = g.Op(sw).NumBranches
+		k.dims += 2 * k.nb[i]
+	}
+	return k
+}
+
+// scope is the exact-match part of a key: the full hardware config (tile
+// mask and bandwidth derates included — hw.Config is comparable by design)
+// plus the scheduling policy. Profiles are only ever compared within one
+// scope.
+type scope struct {
+	cfg hw.Config
+	pol sched.Policy
+}
+
+// key identifies one cached plan: its scope, the quantized profile snapshot
+// (nearest matching operates on this), and the full-profile fingerprint
+// (exact matching operates on this).
+type key struct {
+	scope
+	profile string
+	fp      uint64
+}
+
+// makeKey computes the cache key for the given scheduler inputs. The profile
+// part quantizes each switch branch's unit share and active fraction; the
+// fingerprint additionally folds in the batch count, the co-activation
+// counters and every dynamic operator's frequency table — the complete set
+// of profile state sched.Schedule reads.
+func (k *Keyer) makeKey(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) key {
+	q := make([]byte, 0, k.dims)
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	w64(uint64(prof.Batches()))
+	for i, sw := range k.sws {
+		for b := 0; b < k.nb[i]; b++ {
+			share := prof.BranchUnitShare(sw, b)
+			active := prof.BranchActiveFraction(sw, b)
+			q = append(q, k.quantize(share), k.quantize(active))
+			wf(share)
+			wf(active)
+			for j := b + 1; j < k.nb[i]; j++ {
+				wf(prof.CoActivation(sw, b, j))
+			}
+		}
+	}
+	for _, id := range k.dyn {
+		f := g.Op(id).Freq
+		if f == nil {
+			continue
+		}
+		w64(uint64(f.Total()))
+		vals, freq := f.Distribution()
+		for i, v := range vals {
+			w64(uint64(v))
+			w64(uint64(freq[i]))
+		}
+	}
+	return key{scope: scope{cfg: cfg, pol: pol}, profile: string(q), fp: h.Sum64()}
+}
+
+func (k *Keyer) quantize(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return byte(math.Round(v * float64(k.levels)))
+}
+
+// dist returns the mean absolute per-dimension difference between two
+// quantized profile snapshots, de-quantized back to [0,1] units — directly
+// comparable to the drift detector's divergence statistic.
+func (k *Keyer) dist(a, b string) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0
+	for i := 0; i < len(a); i++ {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(k.levels) / float64(len(a))
+}
+
+type entry struct {
+	key  key
+	plan *sched.Plan
+	aot  bool
+}
+
+// bucket holds every entry of one scope: an exact index by fingerprint plus
+// the ordered entry list the nearest scan walks.
+type bucket struct {
+	byFP    map[uint64]*entry
+	entries []*entry
+}
+
+// Cache is the plan-variant cache. Not safe for concurrent use.
+type Cache struct {
+	keyer   *Keyer
+	cfg     Config
+	buckets map[scope]*bucket
+	order   []*entry // insertion order, for eviction
+
+	exactHits, nearestHits, misses, evictions int64
+	aotEntries                                int
+}
+
+// New builds an empty cache over the given keyer.
+func New(keyer *Keyer, cfg Config) *Cache {
+	cfg.defaults()
+	return &Cache{keyer: keyer, cfg: cfg, buckets: map[scope]*bucket{}}
+}
+
+// Keyer returns the keyer the cache was built over (shared by per-tenant
+// caches of the same model).
+func (c *Cache) Keyer() *Keyer { return c.keyer }
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int { return len(c.order) }
+
+// Stats returns the cache's lifetime counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		ExactHits:   c.exactHits,
+		NearestHits: c.nearestHits,
+		Misses:      c.misses,
+		Entries:     len(c.order),
+		AOTEntries:  c.aotEntries,
+		Evictions:   c.evictions,
+	}
+}
+
+// Lookup returns the cached plan for the given scheduler inputs, if any. An
+// exact hit requires the full profile fingerprint to match under the same
+// hardware config and policy; with Config.Nearest enabled, the closest
+// cached profile within MaxDist matches approximately.
+func (c *Cache) Lookup(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind) {
+	plan, kind, _ := c.lookup(c.keyer.makeKey(cfg, g, pol, prof))
+	return plan, kind
+}
+
+func (c *Cache) lookup(k key) (*sched.Plan, HitKind, key) {
+	b := c.buckets[k.scope]
+	if b == nil {
+		c.misses++
+		return nil, Miss, k
+	}
+	if e, ok := b.byFP[k.fp]; ok {
+		c.exactHits++
+		return e.plan, HitExact, k
+	}
+	if c.cfg.Nearest {
+		var best *entry
+		bestDist := math.Inf(1)
+		for _, e := range b.entries {
+			if d := c.keyer.dist(k.profile, e.key.profile); d < bestDist {
+				bestDist, best = d, e
+			}
+		}
+		if best != nil && bestDist <= c.cfg.MaxDist {
+			c.nearestHits++
+			return best.plan, HitNearest, k
+		}
+	}
+	c.misses++
+	return nil, Miss, k
+}
+
+// Put stores a plan under the given scheduler inputs (replacing any entry
+// with the identical fingerprint).
+func (c *Cache) Put(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler, plan *sched.Plan) {
+	c.put(c.keyer.makeKey(cfg, g, pol, prof), plan, false)
+}
+
+func (c *Cache) put(k key, plan *sched.Plan, aot bool) {
+	b := c.buckets[k.scope]
+	if b == nil {
+		b = &bucket{byFP: map[uint64]*entry{}}
+		c.buckets[k.scope] = b
+	}
+	if old, ok := b.byFP[k.fp]; ok {
+		old.plan = plan // refresh in place; identity (key) is unchanged
+		return
+	}
+	e := &entry{key: k, plan: plan, aot: aot}
+	b.byFP[k.fp] = e
+	b.entries = append(b.entries, e)
+	c.order = append(c.order, e)
+	if aot {
+		c.aotEntries++
+	}
+	for len(c.order) > c.cfg.MaxEntries {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the oldest online entry, falling back to the oldest AOT
+// entry only when nothing else remains (precomputed coverage is the cache's
+// long-lived value).
+func (c *Cache) evictOldest() {
+	victim := -1
+	for i, e := range c.order {
+		if !e.aot {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	e := c.order[victim]
+	c.order = append(c.order[:victim], c.order[victim+1:]...)
+	b := c.buckets[e.key.scope]
+	delete(b.byFP, e.key.fp)
+	for i, be := range b.entries {
+		if be == e {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			break
+		}
+	}
+	if len(b.entries) == 0 {
+		delete(c.buckets, e.key.scope)
+	}
+	if e.aot {
+		c.aotEntries--
+	}
+	c.evictions++
+}
+
+// GetOrSchedule is the serving layers' re-plan entry point: look the inputs
+// up, and on a miss solve fresh with sched.Schedule and store the result.
+// The returned HitKind tells the caller what to charge — a miss costs a
+// host-side solve, a hit only the plan swap.
+func (c *Cache) GetOrSchedule(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind, error) {
+	k := c.keyer.makeKey(cfg, g, pol, prof)
+	if plan, kind, _ := c.lookup(k); kind != Miss {
+		return plan, kind, nil
+	}
+	plan, err := sched.Schedule(cfg, g, pol, prof)
+	if err != nil {
+		return nil, Miss, fmt.Errorf("plancache: fresh solve: %w", err)
+	}
+	c.put(k, plan, false)
+	return plan, Miss, nil
+}

@@ -1,0 +1,326 @@
+package plancache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/models"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// warmWorkload builds a model plus a profiler warmed on its own trace, the
+// standard scheduler input the cache keys over.
+func warmWorkload(t testing.TB, name string, batches int) (*models.Workload, *profiler.Profiler) {
+	t.Helper()
+	w, err := models.ByName(name, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.New(w.Graph)
+	observe(t, w, prof, workload.NewSource(1), batches)
+	return w, prof
+}
+
+// observe feeds n generated batches into prof.
+func observe(t testing.TB, w *models.Workload, prof *profiler.Profiler, src *workload.Source, n int) {
+	t.Helper()
+	for _, b := range w.GenTrace(src, n, 32) {
+		units, err := w.Graph.AssignUnits(b.Units, b.Routing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prof.ObserveBatch(units, b.Routing); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func encodePlan(t testing.TB, p *sched.Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestExactHitReturnsStoredPlan(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	plan, err := sched.Schedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(NewKeyer(w.Graph, 0), Config{})
+	c.Put(cfg, w.Graph, pol, prof, plan)
+
+	got, kind := c.Lookup(cfg, w.Graph, pol, prof)
+	if kind != HitExact || got != plan {
+		t.Fatalf("lookup at identical inputs: kind=%v plan=%p want exact %p", kind, got, plan)
+	}
+	// A different hardware scope must miss even with the same profile.
+	masked := cfg
+	masked.FailedTiles = hw.NewTileMask(0, 1)
+	if _, kind := c.Lookup(masked, w.Graph, pol, prof); kind != Miss {
+		t.Fatalf("masked-config lookup returned %v, want miss", kind)
+	}
+	// And so must a different policy.
+	if _, kind := c.Lookup(cfg, w.Graph, sched.MTile(), prof); kind != Miss {
+		t.Fatalf("other-policy lookup returned %v, want miss", kind)
+	}
+	st := c.Stats()
+	if st.ExactHits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 exact / 2 misses / 1 entry", st)
+	}
+}
+
+func TestNearestHitRespectsDistanceBound(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	plan, err := sched.Schedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := New(NewKeyer(w.Graph, 0), Config{})
+	exact.Put(cfg, w.Graph, pol, prof, plan)
+	near := New(NewKeyer(w.Graph, 0), Config{Nearest: true, MaxDist: 0.2})
+	near.Put(cfg, w.Graph, pol, prof, plan)
+	tight := New(NewKeyer(w.Graph, 0), Config{Nearest: true, MaxDist: 1e-9})
+	tight.Put(cfg, w.Graph, pol, prof, plan)
+
+	// Nudge the profile: a few more batches from a different stream.
+	observe(t, w, prof, workload.NewSource(99), 3)
+
+	if _, kind := exact.Lookup(cfg, w.Graph, pol, prof); kind != Miss {
+		t.Fatalf("exact-only cache returned %v on a shifted profile, want miss", kind)
+	}
+	if _, kind := near.Lookup(cfg, w.Graph, pol, prof); kind != HitNearest {
+		t.Fatalf("nearest cache returned %v, want nearest hit", kind)
+	}
+	if _, kind := tight.Lookup(cfg, w.Graph, pol, prof); kind != Miss {
+		t.Fatalf("near-zero distance budget returned %v, want miss", kind)
+	}
+}
+
+// TestGetOrScheduleByteIdentical is the exact-hit correctness contract: the
+// plan a warm cache dispatches encodes byte-for-byte the same as a fresh
+// sched.Schedule run on the identical inputs.
+func TestGetOrScheduleByteIdentical(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	c := New(NewKeyer(w.Graph, 0), Config{})
+
+	cold, kind, err := c.GetOrSchedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != Miss {
+		t.Fatalf("cold lookup returned %v, want miss", kind)
+	}
+	warm, kind, err := c.GetOrSchedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != HitExact {
+		t.Fatalf("warm lookup returned %v, want exact hit", kind)
+	}
+	fresh, err := sched.Schedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodePlan(t, warm), encodePlan(t, fresh)) {
+		t.Fatal("cached plan is not byte-identical to a fresh solve at the same inputs")
+	}
+	if !bytes.Equal(encodePlan(t, cold), encodePlan(t, warm)) {
+		t.Fatal("miss-path plan differs from its own cached copy")
+	}
+}
+
+func TestEvictionPrefersOnlineEntries(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 8)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	plan, err := sched.Schedule(cfg, w.Graph, pol, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(NewKeyer(w.Graph, 0), Config{MaxEntries: 3})
+	// Two AOT entries, then online churn past the bound: the AOT pair must
+	// survive while online entries rotate out.
+	keyAt := func(n int) key {
+		dc := cfg
+		dc.FailedTiles = hw.NewTileMask(n)
+		return c.keyer.makeKey(dc, w.Graph, pol, prof)
+	}
+	c.put(keyAt(0), plan, true)
+	c.put(keyAt(1), plan, true)
+	for n := 2; n < 8; n++ {
+		c.put(keyAt(n), plan, false)
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.AOTEntries != 2 {
+		t.Fatalf("stats %+v, want 3 entries with both AOT survivors", st)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("evictions %d, want 5", st.Evictions)
+	}
+	if _, ok := c.peek(keyAt(0)); !ok {
+		t.Fatal("AOT entry evicted while online entries remained")
+	}
+	if _, ok := c.peek(keyAt(7)); !ok {
+		t.Fatal("newest online entry missing")
+	}
+	// Once only AOT entries remain, the bound still holds: they go too.
+	tiny := New(NewKeyer(w.Graph, 0), Config{MaxEntries: 1})
+	tiny.put(keyAt(0), plan, true)
+	tiny.put(keyAt(1), plan, true)
+	if st := tiny.Stats(); st.Entries != 1 || st.AOTEntries != 1 {
+		t.Fatalf("AOT-only cache stats %+v, want 1 entry", st)
+	}
+}
+
+// TestPrecomputeCoversFaultWindowsAndLattice checks AOT bring-up: the fault
+// schedule's degraded configs and the branch-tilt lattice are all pre-solved,
+// the first excursion hits, and the live profile/frequency state is untouched.
+func TestPrecomputeCoversFaultWindowsAndLattice(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	fs, err := faults.ParseSpec("fail@2e6:tiles=0-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(NewKeyer(w.Graph, 0), Config{})
+	before := c.keyer.makeKey(cfg, w.Graph, pol, prof)
+
+	added := c.Precompute(cfg, w.Graph, pol, prof, AOTConfig{Faults: fs, Batches: 8})
+	if added == 0 {
+		t.Fatal("precompute added nothing")
+	}
+	st := c.Stats()
+	if st.AOTEntries != added || st.Entries != added {
+		t.Fatalf("stats %+v after adding %d AOT plans", st, added)
+	}
+	// Synthetic lattice observation must not leak into live profile state.
+	if after := c.keyer.makeKey(cfg, w.Graph, pol, prof); after != before {
+		t.Fatal("precompute mutated the live profile / frequency tables")
+	}
+	// The fault window's degraded config is now a hit at the live profile.
+	st0 := faults.NewState(fs)
+	nc, ok := st0.NextChange(0)
+	if !ok {
+		t.Fatal("fault schedule has no windows")
+	}
+	cap, _ := st0.At(nc)
+	if _, kind := c.Lookup(cap.Apply(cfg), w.Graph, pol, prof); kind != HitExact {
+		t.Fatalf("degraded-window lookup returned %v, want exact hit", kind)
+	}
+	// Idempotent: a second precompute finds everything cached.
+	if again := c.Precompute(cfg, w.Graph, pol, prof, AOTConfig{Faults: fs, Batches: 8}); again != 0 {
+		t.Fatalf("second precompute added %d plans, want 0", again)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	c := New(NewKeyer(w.Graph, 0), Config{})
+	if _, _, err := c.GetOrSchedule(cfg, w.Graph, pol, prof); err != nil {
+		t.Fatal(err)
+	}
+	// Include a degraded-mask entry: tile masks take a dedicated wire format.
+	masked := cfg
+	masked.FailedTiles = hw.NewTileMask(0, 1, 2, 3)
+	if _, _, err := c.GetOrSchedule(masked, w.Graph, pol, prof); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(NewKeyer(w.Graph, 0), Config{})
+	n, err := fresh.Import(bytes.NewReader(buf.Bytes()), w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || fresh.Len() != 2 {
+		t.Fatalf("imported %d entries into a cache of %d, want 2", n, fresh.Len())
+	}
+	for _, hc := range []hw.Config{cfg, masked} {
+		orig, kind := c.Lookup(hc, w.Graph, pol, prof)
+		if kind != HitExact {
+			t.Fatalf("source cache lost its own entry for %v", hc.FailedTiles)
+		}
+		got, kind := fresh.Lookup(hc, w.Graph, pol, prof)
+		if kind != HitExact {
+			t.Fatalf("imported cache misses config %v", hc.FailedTiles)
+		}
+		if !bytes.Equal(encodePlan(t, got), encodePlan(t, orig)) {
+			t.Fatal("imported plan differs from the exported one")
+		}
+	}
+	// A keyer with a different quantization cannot consume the artifact.
+	other := New(NewKeyer(w.Graph, 7), Config{Levels: 7})
+	if _, err := other.Import(bytes.NewReader(buf.Bytes()), w.Graph); err == nil {
+		t.Fatal("import across quantization levels accepted")
+	}
+}
+
+// TestWarmLookupBeatsFreshSolve is the cache's reason to exist: a warm
+// exact-key lookup must be at least 10x faster than re-running the scheduling
+// pipeline (in practice it is orders of magnitude faster — one hash of the
+// profile vs a full solve).
+func TestWarmLookupBeatsFreshSolve(t *testing.T) {
+	w, prof := warmWorkload(t, "moe", 12)
+	cfg := hw.Default()
+	pol := sched.Adyna()
+	c := New(NewKeyer(w.Graph, 0), Config{})
+	if _, _, err := c.GetOrSchedule(cfg, w.Graph, pol, prof); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 10
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := sched.Schedule(cfg, w.Graph, pol, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve := time.Since(start)
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, kind, err := c.GetOrSchedule(cfg, w.Graph, pol, prof); err != nil || kind != HitExact {
+			t.Fatalf("warm lookup: kind=%v err=%v", kind, err)
+		}
+	}
+	lookup := time.Since(start)
+	if lookup <= 0 {
+		lookup = 1
+	}
+	ratio := float64(solve) / float64(lookup)
+	t.Logf("fresh solve %v vs warm lookup %v per %d re-plans: %.0fx", solve, lookup, rounds, ratio)
+	if ratio < 10 {
+		t.Fatalf("warm lookup only %.1fx faster than a fresh solve, want >= 10x", ratio)
+	}
+}
+
+func TestHitKindString(t *testing.T) {
+	cases := map[HitKind]string{Miss: "miss", HitExact: "exact", HitNearest: "nearest", HitKind(9): "miss"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("HitKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Miss.Hit() || !HitExact.Hit() || !HitNearest.Hit() {
+		t.Error("Hit() misclassifies")
+	}
+}

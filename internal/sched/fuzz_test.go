@@ -31,6 +31,24 @@ func FuzzPlanRoundTrip(f *testing.F) {
 		}
 		f.Add(buf.Bytes())
 	}
+	// Plans solved for degraded chips: the plan cache persists these, so the
+	// codec must round-trip masked-config plans as faithfully as healthy ones.
+	for _, mask := range []hw.TileMask{
+		hw.NewTileMask(0, 1, 2, 3),
+		hw.NewTileMask(0, 7, 15, 31, 63, 64, 100),
+	} {
+		cfg := hw.Default()
+		cfg.FailedTiles = mask
+		plan, err := Schedule(cfg, g, Adyna(), nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := plan.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"policy":{},"segments":[]}`))
 	f.Add([]byte(`{"segments":[{"ops":[999]}]}`))

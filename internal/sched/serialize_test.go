@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -61,6 +62,49 @@ func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
 					t.Fatalf("entity %v option %d evaluates differently: %+v vs %+v", lead, k, a, b)
 				}
 			}
+		}
+	}
+}
+
+// TestPlanRoundTripUnderDegradedMasks is the property the plan cache's
+// persistence relies on: plans solved for degraded chips — random tile masks
+// of varying severity — survive Encode/Decode byte-for-byte and still
+// validate against the config they were solved for.
+func TestPlanRoundTripUnderDegradedMasks(t *testing.T) {
+	_, w, prof := scheduleModel(t, "moe", Adyna(), 8)
+	rng := rand.New(rand.NewSource(42))
+	total := hw.Default().Tiles()
+	for trial := 0; trial < 12; trial++ {
+		nFail := 1 + rng.Intn(total/3)
+		var tiles []int
+		for _, tile := range rng.Perm(total)[:nFail] {
+			tiles = append(tiles, tile)
+		}
+		cfg := hw.Default()
+		cfg.FailedTiles = hw.NewTileMask(tiles...)
+		plan, err := Schedule(cfg, w.Graph, Adyna(), prof)
+		if err != nil {
+			// Some masks leave too few tiles for the policy; that is the
+			// scheduler's call, not the codec's problem.
+			continue
+		}
+		var b1 bytes.Buffer
+		if err := plan.Encode(&b1); err != nil {
+			t.Fatalf("trial %d (mask %v): encode: %v", trial, cfg.FailedTiles, err)
+		}
+		dec, err := DecodePlan(bytes.NewReader(b1.Bytes()), w.Graph)
+		if err != nil {
+			t.Fatalf("trial %d (mask %v): decode: %v", trial, cfg.FailedTiles, err)
+		}
+		if err := dec.Validate(cfg, w.Graph); err != nil {
+			t.Fatalf("trial %d (mask %v): decoded plan invalid on its own chip: %v", trial, cfg.FailedTiles, err)
+		}
+		var b2 bytes.Buffer
+		if err := dec.Encode(&b2); err != nil {
+			t.Fatalf("trial %d (mask %v): re-encode: %v", trial, cfg.FailedTiles, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("trial %d (mask %v): round trip not byte-identical", trial, cfg.FailedTiles)
 		}
 	}
 }

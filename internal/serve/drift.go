@@ -77,8 +77,16 @@ func (d *detector) Rebase() {
 // shares and active fractions and maxed over the two statistics. 0 for
 // graphs without switches.
 func (d *detector) Divergence() float64 {
-	share, active := d.divergenceParts()
-	return math.Max(share, active)
+	_, _, div := d.evaluate()
+	return div
+}
+
+// evaluate computes one drift check: both per-branch statistics plus their
+// max — the single place the two statistics are combined, shared by the
+// trigger decision, the telemetry drift-eval instant, and Divergence.
+func (d *detector) evaluate() (share, active, div float64) {
+	share, active = d.divergenceParts()
+	return share, active, math.Max(share, active)
 }
 
 // divergenceParts returns the two per-branch drift statistics separately:

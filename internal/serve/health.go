@@ -3,7 +3,6 @@ package serve
 import (
 	"repro/internal/faults"
 	"repro/internal/hw"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -61,24 +60,15 @@ func (s *Server) applyFaults(now int64) error {
 // is charged to the machine clock, the profile window restarts, and the
 // drift reference rebases on the profile the new plan was built from.
 func (s *Server) healthReschedule() error {
-	m := s.setup.M
-	plan, err := sched.Schedule(s.liveHW(), s.setup.W.Graph, s.setup.Policy, m.Profiler())
+	swap, err := s.replan(s.faultTrack, "fault")
 	if err != nil {
 		return err
 	}
-	before := m.Stats().ReconfigCycles
-	if err := m.LoadPlan(plan); err != nil {
-		return err
-	}
-	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
 	if s.rec.Enabled() {
-		s.rec.Instant(s.faultTrack, "fault", "health-reschedule", int64(m.Now()),
-			telemetry.I("swap_cycles", m.Stats().ReconfigCycles-before))
+		s.rec.Instant(s.faultTrack, "fault", "health-reschedule", int64(s.setup.M.Now()),
+			telemetry.I("swap_cycles", swap))
 	}
-	m.Profiler().Reset()
-	s.det.Rebase()
 	s.rep.HealthReschedules++
-	s.sinceResched = 0
 	return nil
 }
 

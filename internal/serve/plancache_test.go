@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// driftConfig is an aggressive-threshold serving setup that re-schedules
+// often: the regime the plan cache is built for.
+func driftConfig(model string) Config {
+	cfg := quickConfig(model)
+	cfg.DriftThreshold = 0.005
+	cfg.CheckEvery = 4
+	cfg.CooldownBatches = 8
+	return cfg
+}
+
+func driftSource() Source {
+	return NewSynthetic(800, 28_000, 13, workload.NewDrift(1, 0.25, 2.5, 0.12))
+}
+
+// TestPlanCacheExactHitByteIdentical is the correctness acceptance check:
+// exact-hit serving must be indistinguishable from solving fresh. A cold
+// cached run populates the cache while producing the exact outcome log of an
+// uncached server; handing the warm cache to a second identical run turns the
+// same re-plans into exact hits — and the outcomes still match byte for byte,
+// at GOMAXPROCS 1 and 4 (run under -race in CI).
+func TestPlanCacheExactHitByteIdentical(t *testing.T) {
+	base := driftConfig("moe")
+	uncached := mustServe(t, base, driftSource())
+	if uncached.Reschedules == 0 {
+		t.Fatal("drift never triggered a re-plan; the scenario exercises nothing")
+	}
+
+	cold := base
+	cold.PlanCache = true // exact-only: no nearest matching, no AOT, no miss charge
+	srv, err := New(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCold, err := srv.Serve(driftSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcomes(t, "cold cached vs uncached", repCold, uncached)
+	if repCold.PlanCacheMisses == 0 {
+		t.Fatal("cold run recorded no cache misses")
+	}
+
+	warm := base
+	warm.SharedPlanCache = srv.PlanCache()
+	run := func(procs int) *Report {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		return mustServe(t, warm, driftSource())
+	}
+	for _, procs := range []int{1, 4} {
+		rep := run(procs)
+		sameOutcomes(t, "warm cached vs uncached", rep, uncached)
+		if rep.PlanCacheExact == 0 {
+			t.Fatalf("warm run at GOMAXPROCS %d served no exact hits", procs)
+		}
+		if rep.PlanCacheNearest != 0 {
+			t.Fatalf("nearest hits %d with nearest matching disabled", rep.PlanCacheNearest)
+		}
+	}
+}
+
+func sameOutcomes(t *testing.T, what string, a, b *Report) {
+	t.Helper()
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("%s: outcome logs differ in length: %d vs %d", what, len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			t.Fatalf("%s: outcome %d differs: %+v vs %+v", what, i, a.Outcomes[i], b.Outcomes[i])
+		}
+	}
+	if a.FinalCycles != b.FinalCycles || a.Reschedules != b.Reschedules {
+		t.Fatalf("%s: report-level divergence: cycles %d vs %d, reschedules %d vs %d",
+			what, a.FinalCycles, b.FinalCycles, a.Reschedules, b.Reschedules)
+	}
+}
+
+// TestPlanCacheBeatsUncachedUnderFastDrift is the headline acceptance check:
+// once the host scheduler's solve latency is charged honestly into virtual
+// time, an aggressive drift threshold is only affordable with the cache. Same
+// arrivals, same seed, same threshold: the cached server must achieve lower
+// p99 latency than the uncached one, because its re-plans dispatch instead of
+// stalling the machine for the solve.
+func TestPlanCacheBeatsUncachedUnderFastDrift(t *testing.T) {
+	base := driftConfig("moe")
+	base.HostReschedCycles = 2_000_000
+
+	cached := base
+	cached.PlanCache = true
+	cached.PlanCacheNearest = true
+	cached.PlanCacheAOT = true
+	on := mustServe(t, cached, driftSource())
+	off := mustServe(t, base, driftSource())
+
+	t.Logf("cached:   p50=%.0f p99=%.0f missed=%d reschedules=%d hits=%d+%d/%d hostsolve=%d",
+		on.Latency.P50, on.Latency.P99, on.Missed, on.Reschedules,
+		on.PlanCacheExact, on.PlanCacheNearest,
+		on.PlanCacheExact+on.PlanCacheNearest+on.PlanCacheMisses, on.HostSolveCycles)
+	t.Logf("uncached: p50=%.0f p99=%.0f missed=%d reschedules=%d hostsolve=%d",
+		off.Latency.P50, off.Latency.P99, off.Missed, off.Reschedules, off.HostSolveCycles)
+
+	if off.Reschedules == 0 {
+		t.Fatal("uncached run never re-planned; the scenario exercises nothing")
+	}
+	if on.PlanCacheExact+on.PlanCacheNearest == 0 {
+		t.Fatal("cached run served no cache hits")
+	}
+	if on.HostSolveCycles >= off.HostSolveCycles {
+		t.Fatalf("cached run paid %d host solve cycles, uncached %d — cache saved nothing",
+			on.HostSolveCycles, off.HostSolveCycles)
+	}
+	if on.Latency.P99 >= off.Latency.P99 {
+		t.Errorf("cached p99 %.0f not lower than uncached %.0f", on.Latency.P99, off.Latency.P99)
+	}
+}
+
+// TestPlanCacheAOTSeedsEntries checks bring-up precompute: a cache-enabled
+// server starts with more than the single bring-up plan, and the snapshot
+// exposes the cache gauges.
+func TestPlanCacheAOTSeedsEntries(t *testing.T) {
+	cfg := driftConfig("moe")
+	cfg.PlanCache = true
+	cfg.PlanCacheAOT = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.PlanCacheStats()
+	if st.AOTEntries == 0 || st.Entries <= 1 {
+		t.Fatalf("AOT bring-up produced %d entries (%d AOT), want more than the seed plan", st.Entries, st.AOTEntries)
+	}
+	snap := s.Snapshot()
+	if snap.Gauges["plan_cache_entries"] != float64(st.Entries) {
+		t.Fatalf("snapshot gauge %v != stats entries %d", snap.Gauges["plan_cache_entries"], st.Entries)
+	}
+	if _, ok := snap.Counters["plan_cache_exact_hits"]; !ok {
+		t.Fatal("snapshot missing plan_cache_exact_hits counter")
+	}
+}
+
+// TestCostmodelCacheSurfacedInSnapshot pins the satellite: the live plan's
+// cost-model memo counters appear in the snapshot as counters plus a hit-rate
+// gauge.
+func TestCostmodelCacheSurfacedInSnapshot(t *testing.T) {
+	cfg := quickConfig("skipnet")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Serve(NewSynthetic(60, 30_000, 5, nil)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	hits, okH := snap.Counters["costmodel_cache_hits"]
+	misses, okM := snap.Counters["costmodel_cache_misses"]
+	rate, okR := snap.Gauges["costmodel_cache_hit_rate"]
+	if !okH || !okM || !okR {
+		t.Fatalf("costmodel cache keys missing from snapshot: %v", snap.Counters)
+	}
+	if hits+misses > 0 {
+		want := float64(hits) / float64(hits+misses)
+		if rate != want {
+			t.Fatalf("hit rate gauge %v, want %v", rate, want)
+		}
+	}
+}

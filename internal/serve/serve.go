@@ -22,7 +22,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/plancache"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -87,6 +89,34 @@ type Config struct {
 	// Reschedule enables the drift-triggered re-scheduler and, when a fault
 	// schedule is present, fault-aware re-scheduling.
 	Reschedule bool
+	// PlanCache enables the plan-variant cache (internal/plancache): drift
+	// and fault re-plans first look up the cached plan for the live hardware
+	// config, policy and profile, and only solve fresh on a miss. Exact hits
+	// return a plan byte-identical to a fresh solve.
+	PlanCache bool
+	// PlanCacheNearest additionally allows approximate hits: the closest
+	// cached profile within PlanCacheMaxDist (same units as DriftThreshold)
+	// matches even when the fingerprint differs.
+	PlanCacheNearest bool
+	// PlanCacheMaxDist bounds a nearest hit (default 0.04).
+	PlanCacheMaxDist float64
+	// PlanCacheAOT precomputes the cache at bring-up: one plan per
+	// profile-lattice point along each switch's branch simplex, plus one per
+	// degraded config in the fault schedule's known windows.
+	PlanCacheAOT bool
+	// PlanCacheAOTSingleTile additionally precomputes every single-tile-loss
+	// variant of the chip (one solve per live tile).
+	PlanCacheAOTSingleTile bool
+	// SharedPlanCache, when non-nil, uses the given cache instead of
+	// building a private one — warm restarts and replica fleets share solved
+	// plans this way. Implies PlanCache.
+	SharedPlanCache *plancache.Cache
+	// HostReschedCycles charges the host-side solve latency of a re-plan
+	// into virtual time (the machine idles while the scheduler runs). Cache
+	// hits skip the charge — that asymmetry is what lets cached serving
+	// afford aggressive drift thresholds. Zero keeps re-plans free on the
+	// machine clock, as before.
+	HostReschedCycles int64
 	// DriftThreshold is the profile divergence (mean absolute per-branch
 	// difference, see detector) that triggers a re-schedule (default 0.06).
 	DriftThreshold float64
@@ -156,9 +186,15 @@ type Report struct {
 	// HealthReschedules counts the emergency re-plans they triggered (both
 	// zero without a fault schedule).
 	FaultEvents, HealthReschedules int
+	// PlanCacheExact, PlanCacheNearest and PlanCacheMisses split this run's
+	// re-plans by plan-cache outcome (all zero with the cache disabled).
+	PlanCacheExact, PlanCacheNearest, PlanCacheMisses int
 	// ReconfigCycles is the machine time spent in drift-triggered plan swaps
 	// (pipeline drain + kernel-store reload).
 	ReconfigCycles int64
+	// HostSolveCycles is the virtual time charged for host-side solves
+	// (HostReschedCycles per cache miss; zero when the knob is off).
+	HostSolveCycles int64
 	// FinalCycles is the machine clock when the stream drained.
 	FinalCycles int64
 	// MaxDivergence is the largest profile divergence seen at a drift check
@@ -216,6 +252,13 @@ func (r *Report) String() string {
 		t.AddRow("fault events", fmt.Sprint(r.FaultEvents))
 		t.AddRow("health reschedules", fmt.Sprint(r.HealthReschedules))
 	}
+	if n := r.PlanCacheExact + r.PlanCacheNearest + r.PlanCacheMisses; n > 0 {
+		t.AddRow("plan-cache hits", fmt.Sprintf("%d exact + %d nearest / %d re-plans",
+			r.PlanCacheExact, r.PlanCacheNearest, n))
+	}
+	if r.HostSolveCycles > 0 {
+		t.AddRow("host solve cycles", fmt.Sprint(r.HostSolveCycles))
+	}
 	t.AddRow("reconfig cycles", fmt.Sprint(r.ReconfigCycles))
 	t.AddRow("max divergence", metrics.F(r.MaxDivergence, 3))
 	t.AddRow("latency p50 (cycles)", metrics.F(r.Latency.P50, 0))
@@ -233,7 +276,8 @@ type Server struct {
 	cfg    Config
 	setup  *core.Setup
 	det    *detector
-	health *faults.State // nil without a fault schedule
+	health *faults.State   // nil without a fault schedule
+	pcache *plancache.Cache // nil with the plan cache disabled
 
 	queue         []Request
 	queuedSamples int
@@ -275,8 +319,43 @@ func New(cfg Config) (*Server, error) {
 			s.faultTrack = s.rec.Track("faults")
 		}
 	}
+	if cfg.PlanCache || cfg.SharedPlanCache != nil {
+		s.pcache = cfg.SharedPlanCache
+		if s.pcache == nil {
+			keyer := plancache.NewKeyer(setup.W.Graph, 0)
+			s.pcache = plancache.New(keyer, plancache.Config{
+				Nearest: cfg.PlanCacheNearest,
+				MaxDist: cfg.PlanCacheMaxDist,
+			})
+		}
+		// Seed the cache with the bring-up plan: the profiler still holds
+		// exactly the warmup state that plan was solved from, so the entry's
+		// fingerprint is the one a fresh solve of the same state would key.
+		s.pcache.Put(cfg.RC.HW, setup.W.Graph, setup.Policy, setup.M.Profiler(), setup.Plan)
+		if cfg.PlanCacheAOT {
+			s.pcache.Precompute(cfg.RC.HW, setup.W.Graph, setup.Policy, setup.M.Profiler(), plancache.AOTConfig{
+				BatchUnits:     cfg.RC.Batch * setup.W.Graph.UnitsPerSample,
+				Faults:         cfg.Faults,
+				SingleTileLoss: cfg.PlanCacheAOTSingleTile,
+			})
+		}
+	}
 	return s, nil
 }
+
+// PlanCacheStats returns the plan cache's lifetime counters (zero value with
+// the cache disabled).
+func (s *Server) PlanCacheStats() plancache.Stats {
+	if s.pcache == nil {
+		return plancache.Stats{}
+	}
+	return s.pcache.Stats()
+}
+
+// PlanCache returns the server's plan cache (nil when disabled) — handed to
+// a successor server as Config.SharedPlanCache, a warm restart keeps every
+// solved variant.
+func (s *Server) PlanCache() *plancache.Cache { return s.pcache }
 
 // Setup exposes the brought-up machine bundle (tests and tools).
 func (s *Server) Setup() *core.Setup { return s.setup }
@@ -463,11 +542,7 @@ func (s *Server) fireBatch(now int64) error {
 // lands on the machine clock, exactly like the periodic reconfiguration of
 // the offline runner.
 func (s *Server) maybeReschedule() error {
-	share, active := s.det.divergenceParts()
-	div := share
-	if active > div {
-		div = active
-	}
+	share, active, div := s.det.evaluate()
 	if div > s.rep.MaxDivergence {
 		s.rep.MaxDivergence = div
 	}
@@ -477,37 +552,93 @@ func (s *Server) maybeReschedule() error {
 		// One instant per drift check, whether or not it fires: both branch
 		// statistics the detector maxes over, the threshold, and what the
 		// check decided. A trace therefore shows which statistic pushed a
-		// re-plan — and how close the quiet checks came.
-		s.rec.Instant(s.driftTrack, "drift", "drift-eval", int64(s.setup.M.Now()),
+		// re-plan — and how close the quiet checks came. The cost-model
+		// memo counters ride along at the same cadence, so a trace also
+		// shows how effectively the live plan's evaluations are cached.
+		ts := int64(s.setup.M.Now())
+		s.rec.Instant(s.driftTrack, "drift", "drift-eval", ts,
 			telemetry.F("share", share), telemetry.F("active", active),
 			telemetry.F("divergence", div), telemetry.F("threshold", s.cfg.DriftThreshold),
 			telemetry.I("cooldown", boolArg(cooling)), telemetry.I("triggered", boolArg(triggered)))
+		ch, cm := s.setup.Plan.CacheStats()
+		s.rec.Counter(s.driftTrack, "drift", "costmodel_hits", ts, ch)
+		s.rec.Counter(s.driftTrack, "drift", "costmodel_misses", ts, cm)
 	}
 	if !triggered {
 		return nil
 	}
-	m := s.setup.M
-	plan, err := sched.Schedule(s.liveHW(), s.setup.W.Graph, s.setup.Policy, m.Profiler())
+	swap, err := s.replan(s.driftTrack, "drift")
 	if err != nil {
 		return err
 	}
+	if s.rec.Enabled() {
+		s.rec.Instant(s.driftTrack, "drift", "reschedule", int64(s.setup.M.Now()),
+			telemetry.F("divergence", div),
+			telemetry.I("swap_cycles", swap))
+	}
+	s.rep.Reschedules++
+	return nil
+}
+
+// replan computes (or looks up) a plan for the live hardware config from the
+// live profile and swaps it in — the shared tail of the drift and fault
+// re-schedule paths. With the plan cache enabled the solve becomes a lookup:
+// exact hits dispatch the stored plan, misses solve fresh and store the
+// result. HostReschedCycles charges the host solve into virtual time on
+// every solve (cache miss or cache disabled); hits charge ~nothing beyond
+// the LoadPlan drain+reload. Afterwards the profiling window ages and the
+// drift reference rebases on the profile the new plan was built from.
+// Returns the swap's reconfiguration cycles.
+func (s *Server) replan(track telemetry.TrackID, trackName string) (int64, error) {
+	m := s.setup.M
+	g := s.setup.W.Graph
+	cfg := s.liveHW()
+	var plan *sched.Plan
+	kind := plancache.Miss
+	var err error
+	if s.pcache != nil {
+		plan, kind, err = s.pcache.GetOrSchedule(cfg, g, s.setup.Policy, m.Profiler())
+	} else {
+		plan, err = sched.Schedule(cfg, g, s.setup.Policy, m.Profiler())
+	}
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case plancache.HitExact:
+		s.rep.PlanCacheExact++
+	case plancache.HitNearest:
+		s.rep.PlanCacheNearest++
+	default:
+		if s.pcache != nil {
+			s.rep.PlanCacheMisses++
+		}
+		if s.cfg.HostReschedCycles > 0 {
+			// The machine idles out the host-side solve before the new plan
+			// can be swapped in. Hits skip this entirely — the cached plan
+			// is ready the moment drift is detected.
+			m.AdvanceTo(m.Now() + sim.Time(s.cfg.HostReschedCycles))
+			s.rep.HostSolveCycles += s.cfg.HostReschedCycles
+		}
+	}
+	if s.rec.Enabled() && s.pcache != nil {
+		st := s.pcache.Stats()
+		s.rec.Instant(track, trackName, "plan-cache", int64(m.Now()),
+			telemetry.S("result", kind.String()),
+			telemetry.I("entries", int64(st.Entries)),
+			telemetry.I("hits", st.Hits()), telemetry.I("misses", st.Misses))
+	}
 	before := m.Stats().ReconfigCycles
 	if err := m.LoadPlan(plan); err != nil {
-		return err
+		return 0, err
 	}
-	s.rep.ReconfigCycles += m.Stats().ReconfigCycles - before
-	if s.rec.Enabled() {
-		s.rec.Instant(s.driftTrack, "drift", "reschedule", int64(m.Now()),
-			telemetry.F("divergence", div),
-			telemetry.I("swap_cycles", m.Stats().ReconfigCycles-before))
-	}
-	// Age the profiling window (the paper's periodic report) and rebase the
-	// drift reference on the profile the new plan was built from.
+	swap := m.Stats().ReconfigCycles - before
+	s.rep.ReconfigCycles += swap
+	s.setup.Plan = plan
 	m.Profiler().Reset()
 	s.det.Rebase()
-	s.rep.Reschedules++
 	s.sinceResched = 0
-	return nil
+	return swap, nil
 }
 
 // boolArg renders a branch decision as a 0/1 trace arg.

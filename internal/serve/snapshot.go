@@ -41,6 +41,25 @@ func (s *Server) Snapshot() Snapshot {
 		"hbm_utilization":     m.HBMUtilization(),
 		"drift_divergence":    s.det.Divergence(),
 	}
+	// Cost-model memo effectiveness of the live plan: hit rate as a gauge
+	// (it moves with every plan swap), raw totals as counters.
+	ch, cm := s.setup.Plan.CacheStats()
+	c["costmodel_cache_hits"] = ch
+	c["costmodel_cache_misses"] = cm
+	if ch+cm > 0 {
+		g["costmodel_cache_hit_rate"] = float64(ch) / float64(ch+cm)
+	} else {
+		g["costmodel_cache_hit_rate"] = 0
+	}
+	if s.pcache != nil {
+		st := s.pcache.Stats()
+		c["plan_cache_exact_hits"] = st.ExactHits
+		c["plan_cache_nearest_hits"] = st.NearestHits
+		c["plan_cache_misses"] = st.Misses
+		c["plan_cache_evictions"] = st.Evictions
+		g["plan_cache_entries"] = float64(st.Entries)
+		g["plan_cache_aot_entries"] = float64(st.AOTEntries)
+	}
 	if s.rep != nil {
 		c["requests_total"] = int64(s.rep.Requests)
 		c["requests_served"] = int64(s.rep.Served)
@@ -51,6 +70,7 @@ func (s *Server) Snapshot() Snapshot {
 		c["fault_events"] = int64(s.rep.FaultEvents)
 		c["health_reschedules"] = int64(s.rep.HealthReschedules)
 		c["reschedule_reconfig_cycles"] = s.rep.ReconfigCycles
+		c["host_solve_cycles"] = s.rep.HostSolveCycles
 		g["shed_rate"] = s.rep.ShedRate()
 		g["miss_rate"] = s.rep.MissRate()
 		g["max_divergence"] = s.rep.MaxDivergence

@@ -36,6 +36,17 @@
 //	serve -tenants 'fbsnet:gap=37k,dpsnet:gap=36k' -mt-mode timeslice
 //	serve -tenants 'moe,fbsnet:prio=1' -compare
 //
+// Fleet scale-out (-fleet, see internal/fleet) serves a drifting
+// multi-class arrival mix on K replica chips behind a router; -route picks
+// round-robin, join-shortest-queue, or plan-affinity routing, the replicas
+// share one plan cache, -fleet-faults kills and repairs whole replicas, and
+// with -compare the same arrivals run under all three policies:
+//
+//	serve -model moe -fleet 4 -route affinity -plancache
+//	serve -fleet 4 -compare
+//	serve -fleet-replicas 'big:tiles=12x12,small:tiles=6x6:count=2' -route jsq
+//	serve -fleet 3 -fleet-faults 'brownout@8e6:tiles=1,repair=1e7' -fleet-min 1
+//
 // Observability: -trace writes a Chrome-trace/Perfetto JSON timeline of the
 // whole run (open in https://ui.perfetto.dev; see internal/telemetry), and
 // -stats-json dumps the final counters/gauges snapshot as JSON:
@@ -92,6 +103,13 @@ func main() {
 		pcDist   = flag.Float64("plancache-maxdist", 0, "max quantized-profile distance for a nearest hit (0 = default)")
 		pcTiles  = flag.Bool("plancache-aot-tiles", false, "AOT additionally pre-solves every single-tile-loss variant")
 		hostCyc  = flag.Int64("hostresched", 0, "host solve latency charged into virtual time per plan-cache miss (cycles)")
+		fleetN   = flag.Int("fleet", 0, "serve across N identical replicas behind a router (0 = single server)")
+		fleetRep = flag.String("fleet-replicas", "", "heterogeneous fleet spec, e.g. 'big:tiles=12x12,edge:tiles=4x4:count=2' (see internal/fleet)")
+		route    = flag.String("route", "affinity", "fleet routing policy: rr, jsq, affinity")
+		fleetFlt = flag.String("fleet-faults", "", "replica-level fault schedule (tile indices name replicas): spec string or JSON file")
+		fleetCls = flag.Int("fleet-classes", 3, "traffic classes in the fleet's drifting arrival mix")
+		fleetMin = flag.Int("fleet-min", 0, "elastic scaling: start with this many active replicas (0 = all, no scaling)")
+		fleetSD  = flag.Float64("fleet-walk", 0.1, "per-request random-walk std-dev of the fleet's class mixture weights")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
 		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
 		statsOut = flag.String("stats-json", "", "write the final counters/gauges snapshot as JSON to this file ('-' for stdout)")
@@ -201,6 +219,32 @@ func main() {
 
 	if *traceOut != "" {
 		cfg.RC.Trace = telemetry.NewTrace()
+	}
+	fo := fleetOpts{
+		n:        *fleetN,
+		replicas: *fleetRep,
+		route:    *route,
+		faultArg: *fleetFlt,
+		classes:  *fleetCls,
+		scaleMin: *fleetMin,
+		walkSD:   *fleetSD,
+	}
+	if fo.enabled() {
+		if err := validateFleetFlags(fo, *replay, *tenants); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if err := runFleet(os.Stdout, cfg, fo, *requests, *gap, *seed, *compare, *statsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, cfg.RC.Trace); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if err := run(os.Stdout, cfg, *replay, *requests, *gap, *ratewalk, *seed, *compare, *statsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

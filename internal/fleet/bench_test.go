@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// BenchmarkRouterDecide measures the per-request routing overhead of each
+// policy on a warm 4-replica fleet: what the router layer itself costs,
+// excluding simulation time. Affinity pays for the request fingerprint
+// (quantize + per-replica distance); rr and jsq are cursor and depth scans.
+func BenchmarkRouterDecide(b *testing.B) {
+	for _, pol := range Policies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			base := fleetBase("moe")
+			base.PlanCache = true
+			cfg := headlineConfig(pol)
+			cfg.Base = base
+			f, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range f.reps {
+				r.srv.Begin()
+			}
+			src, err := NewMixSource(headlineMix())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var reqs []request
+			for i := 0; i < 64; i++ {
+				rq, ok := src.Next()
+				if !ok {
+					b.Fatal("mix source ran dry")
+				}
+				reqs = append(reqs, request{req: rq})
+			}
+			elig := f.eligible()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx, _ := f.decide(reqs[i%len(reqs)], elig)
+				if idx < 0 {
+					b.Fatal("no replica chosen")
+				}
+			}
+		})
+	}
+}

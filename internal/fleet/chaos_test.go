@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// chaosSchedule builds a random replica-level fault schedule from a seed:
+// 1..k-1 distinct victims struck mid-run with permanent kills or brown-outs,
+// always leaving at least one replica that never fails.
+func chaosSchedule(seed int64, k int, span int64) *faults.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	nkills := 1 + rng.Intn(k-1)
+	perm := rng.Perm(k)
+	var events []faults.Event
+	for i := 0; i < nkills; i++ {
+		at := span/8 + rng.Int63n(span*3/4)
+		if rng.Intn(2) == 0 {
+			events = append(events, faults.Event{
+				At: at, Kind: faults.TileFail, Tiles: []int{perm[i]},
+			})
+		} else {
+			events = append(events, faults.Event{
+				At: at, Kind: faults.TileBrownout, Tiles: []int{perm[i]},
+				Until: at + span/10 + rng.Int63n(span/2),
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &faults.Schedule{Events: events}
+}
+
+// TestFleetChaosConservation is the chaos property test: 50 seeded random
+// fault schedules kill (or brown-out) 1..K-1 replicas mid-run, cycling
+// through every routing policy. Under every schedule each request must
+// terminate exactly once — served, shed, or deadline-missed — across the
+// fleet: re-routing must neither lose nor duplicate work.
+func TestFleetChaosConservation(t *testing.T) {
+	const (
+		k        = 3
+		requests = 90
+		gap      = 40_000
+		span     = int64(requests * gap)
+	)
+	for seed := int64(1); seed <= 50; seed++ {
+		sched := chaosSchedule(seed, k, span)
+		base := fleetBase("skipnet")
+		base.Reschedule = false
+		pol := Policies()[int(seed)%len(Policies())]
+		src, err := NewMixSource(MixConfig{
+			Model: "skipnet", Classes: 2, Requests: requests, Samples: 4,
+			MeanGapCycles: gap, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: NewMixSource: %v", seed, err)
+		}
+		f, err := New(Config{
+			Base:          base,
+			Replicas:      HomogeneousSpecs(k, base.RC.HW),
+			Policy:        pol,
+			ReplicaFaults: sched,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: New: %v", seed, err)
+		}
+		rep, err := f.Serve(src)
+		if err != nil {
+			t.Fatalf("seed %d (%s, %d fault events): Serve: %v", seed, pol, len(sched.Events), err)
+		}
+		checkConservation(t, rep, requests)
+		if rep.ReplicaFailures == 0 {
+			t.Errorf("seed %d: schedule with %d events caused no replica failure", seed, len(sched.Events))
+		}
+	}
+}

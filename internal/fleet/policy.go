@@ -1,0 +1,141 @@
+package fleet
+
+import "fmt"
+
+// Policy selects the router's replica-choice rule.
+type Policy uint8
+
+// The routing policies.
+const (
+	// PolicyRR cycles through the active replicas in name order —
+	// load-oblivious and plan-oblivious, the classic baseline.
+	PolicyRR Policy = iota
+	// PolicyJSQ joins the shortest queue (fewest backlogged samples) —
+	// load-aware but plan-oblivious.
+	PolicyJSQ
+	// PolicyAffinity routes a request to the replica whose current plan was
+	// solved for the traffic most like it: the request's routing fingerprint
+	// (plancache.Keyer quantization) is matched against each replica's plan
+	// key, with a join-shortest-queue spill once the best match backs up.
+	PolicyAffinity
+)
+
+// String returns the policy's flag name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRR:
+		return "rr"
+	case PolicyJSQ:
+		return "jsq"
+	case PolicyAffinity:
+		return "affinity"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy parses a -route flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "rr", "round-robin":
+		return PolicyRR, nil
+	case "jsq":
+		return PolicyJSQ, nil
+	case "affinity":
+		return PolicyAffinity, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown routing policy %q (want rr, jsq or affinity)", s)
+}
+
+// Policies lists every routing policy, in comparison-table order.
+func Policies() []Policy { return []Policy{PolicyRR, PolicyJSQ, PolicyAffinity} }
+
+// decide picks the replica for req among the eligible indices (always
+// non-empty), returning the chosen index and the affinity distance (-1 for
+// the plan-oblivious policies). Pure policy logic: no state is mutated
+// except the round-robin cursor.
+func (f *Fleet) decide(req request, elig []int) (int, float64) {
+	switch f.cfg.Policy {
+	case PolicyRR:
+		// Scan forward from the cursor for the next eligible replica.
+		for i := 0; i < len(f.reps); i++ {
+			idx := (f.rr + i) % len(f.reps)
+			for _, e := range elig {
+				if e == idx {
+					f.rr = idx + 1
+					return idx, -1
+				}
+			}
+		}
+		return elig[0], -1 // unreachable: elig is non-empty
+	case PolicyAffinity:
+		if req.req.Routing != nil {
+			return f.decideAffinity(req, elig)
+		}
+		// A request without its own routing has no fingerprint to match;
+		// fall through to shortest-queue.
+		fallthrough
+	default: // PolicyJSQ
+		// Shortest queue, with depth ties broken by a rotating cursor (the
+		// deterministic analog of JSQ's usual random tie-breaking — a fixed
+		// tie-break would pin all of a lightly-loaded fleet's traffic on the
+		// first replica).
+		best, bestDepth := -1, 0
+		for i := 0; i < len(f.reps); i++ {
+			idx := (f.rr + i) % len(f.reps)
+			for _, e := range elig {
+				if e != idx {
+					continue
+				}
+				if d := f.reps[idx].srv.QueuedSamples(); best < 0 || d < bestDepth {
+					best, bestDepth = idx, d
+				}
+			}
+		}
+		f.rr = best + 1
+		return best, -1
+	}
+}
+
+// decideAffinity matches the request's routing fingerprint against each
+// eligible replica's plan key, load-shaped in two layers. First, replicas
+// that could start the request immediately (no backlog, no in-flight batch)
+// are preferred outright: a matched-but-occupied replica costs a full
+// service time of waiting, which dwarfs the mismatch penalty of a
+// close-second plan. Only when no replica is ready does pure affinity rank
+// all of them — and then the spill bound still keeps the pick out of any
+// backlog that has already grown past it. Ties break toward the shorter
+// queue, then the lower index.
+func (f *Fleet) decideAffinity(req request, elig []int) (int, float64) {
+	if req.key == "" {
+		req.key = f.keyer.RoutingShareKey(req.req.Routing)
+	}
+	pick := func(cands []int) (int, float64) {
+		best, bestDist, bestDepth := -1, 0.0, 0
+		for _, idx := range cands {
+			r := f.reps[idx]
+			d := f.keyer.Dist(req.key, r.srv.PlanKey())
+			depth := r.srv.QueuedSamples()
+			if best < 0 || d < bestDist || (d == bestDist && depth < bestDepth) {
+				best, bestDist, bestDepth = idx, d, depth
+			}
+		}
+		return best, bestDist
+	}
+	var ready, under []int
+	for _, idx := range elig {
+		r := f.reps[idx]
+		if r.srv.QueuedSamples() == 0 && r.srv.Busy(f.now) == 0 {
+			ready = append(ready, idx)
+		}
+		if r.srv.QueuedSamples() < f.spillSamples {
+			under = append(under, idx)
+		}
+	}
+	switch {
+	case len(ready) > 0:
+		return pick(ready)
+	case len(under) > 0:
+		return pick(under)
+	}
+	return pick(elig)
+}

@@ -71,6 +71,8 @@ func (a *AOTConfig) defaults(g *graph.Graph) {
 // the policy) are silently dropped — precompute is best-effort coverage, not
 // a correctness gate. Returns the number of plans added.
 func (c *Cache) Precompute(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler, ao AOTConfig) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ao.defaults(g)
 	added := 0
 
@@ -84,7 +86,7 @@ func (c *Cache) Precompute(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof
 		if err != nil {
 			continue
 		}
-		c.put(k, plan, true)
+		c.put(k, plan, true, "")
 		added++
 	}
 
@@ -237,7 +239,7 @@ func (c *Cache) precomputePoint(cfg hw.Config, g *graph.Graph, pol sched.Policy,
 	if err != nil {
 		return false
 	}
-	c.put(k, plan, true)
+	c.put(k, plan, true, "")
 	return true
 }
 

@@ -36,6 +36,8 @@ type cacheJSON struct {
 
 // Export writes every cached entry as JSON, in insertion order.
 func (c *Cache) Export(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := cacheJSON{Levels: c.keyer.levels, Entries: make([]entryJSON, 0, len(c.order))}
 	for _, e := range c.order {
 		var buf bytes.Buffer
@@ -69,6 +71,8 @@ func (c *Cache) Import(r io.Reader, g *graph.Graph) (int, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return 0, fmt.Errorf("plancache: import: %w", err)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if in.Levels != c.keyer.levels {
 		return 0, fmt.Errorf("plancache: import: quantization levels %d != cache's %d", in.Levels, c.keyer.levels)
 	}
@@ -84,7 +88,7 @@ func (c *Cache) Import(r io.Reader, g *graph.Graph) (int, error) {
 		if _, ok := c.peek(k); ok {
 			continue
 		}
-		c.put(k, plan, e.AOT)
+		c.put(k, plan, e.AOT, "")
 		added++
 	}
 	return added, nil

@@ -22,14 +22,21 @@
 // schedule's known degraded configurations at bring-up, so the first drift
 // excursion or tile loss can already dispatch instead of solve.
 //
-// Like the rest of the serving stack the cache is single-threaded: it is not
-// safe for concurrent use.
+// Unlike the rest of the serving stack, a Cache may be shared: every public
+// method takes an internal mutex, so replica fleets (internal/fleet) and
+// parallel experiment sweeps can hit one cache concurrently. Determinism is
+// still the caller's job — the fleet serializes its accesses in event order —
+// but the mutex keeps even undisciplined concurrent use memory-safe. Entries
+// remember the origin that solved them (PutFor / GetOrScheduleFor), and a hit
+// on another origin's entry counts in Stats.SharedHits: the cross-replica
+// reuse the shared-fleet cache exists to create.
 package plancache
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/hw"
@@ -104,6 +111,10 @@ type Stats struct {
 	// ExactHits, NearestHits and Misses count Lookup outcomes; Hits is their
 	// hit-side sum.
 	ExactHits, NearestHits, Misses int64
+	// SharedHits counts hits (exact or nearest) whose entry was stored by a
+	// different origin than the requester — the cross-replica reuse a shared
+	// fleet cache exists for. Always zero when every access uses one origin.
+	SharedHits int64
 	// Entries is the current size; AOTEntries how many of them came from
 	// Precompute; Evictions how many entries the size bound pushed out.
 	Entries, AOTEntries int
@@ -234,10 +245,59 @@ func (k *Keyer) dist(a, b string) float64 {
 	return float64(sum) / float64(k.levels) / float64(len(a))
 }
 
+// ProfileKey is an opaque quantized branch-share snapshot: one byte per
+// switch branch, comparable with Dist. The fleet router matches a request's
+// routing against each replica's plan key in this space — the same
+// quantization the cache's nearest matching uses, restricted to the
+// unit-share dimensions (volume), which is what tile allocation follows.
+type ProfileKey string
+
+// ShareKey snapshots the profiler's per-switch branch unit shares as a
+// ProfileKey. Taken right after a plan is solved, it identifies the traffic
+// the plan was shaped for.
+func (k *Keyer) ShareKey(prof *profiler.Profiler) ProfileKey {
+	q := make([]byte, 0, k.dims/2)
+	for i, sw := range k.sws {
+		for b := 0; b < k.nb[i]; b++ {
+			q = append(q, k.quantize(prof.BranchUnitShare(sw, b)))
+		}
+	}
+	return ProfileKey(q)
+}
+
+// RoutingShareKey snapshots one batch routing's per-switch branch unit
+// shares as a ProfileKey — what ShareKey would converge to over a window of
+// batches routed exactly like rt. This is how the fleet router fingerprints
+// an individual pre-routed request without touching any profiler state.
+func (k *Keyer) RoutingShareKey(rt graph.BatchRouting) ProfileKey {
+	q := make([]byte, 0, k.dims/2)
+	for i, sw := range k.sws {
+		branch := rt[sw].Branch
+		total := 0
+		for _, units := range branch {
+			total += len(units)
+		}
+		for b := 0; b < k.nb[i]; b++ {
+			share := 0.0
+			if total > 0 && b < len(branch) {
+				share = float64(len(branch[b])) / float64(total)
+			}
+			q = append(q, k.quantize(share))
+		}
+	}
+	return ProfileKey(q)
+}
+
+// Dist returns the mean absolute per-dimension difference between two
+// profile keys, de-quantized to [0,1] units (the drift detector's scale).
+// Keys of mismatched shape are infinitely far apart.
+func (k *Keyer) Dist(a, b ProfileKey) float64 { return k.dist(string(a), string(b)) }
+
 type entry struct {
-	key  key
-	plan *sched.Plan
-	aot  bool
+	key    key
+	plan   *sched.Plan
+	aot    bool
+	origin string // who solved it ("" outside fleets)
 }
 
 // bucket holds every entry of one scope: an exact index by fingerprint plus
@@ -247,15 +307,18 @@ type bucket struct {
 	entries []*entry
 }
 
-// Cache is the plan-variant cache. Not safe for concurrent use.
+// Cache is the plan-variant cache. Safe for concurrent use: every public
+// method holds an internal mutex (GetOrSchedule keeps it across the fresh
+// solve, so concurrent misses on the same key never race a double solve).
 type Cache struct {
+	mu      sync.Mutex
 	keyer   *Keyer
 	cfg     Config
 	buckets map[scope]*bucket
 	order   []*entry // insertion order, for eviction
 
-	exactHits, nearestHits, misses, evictions int64
-	aotEntries                                int
+	exactHits, nearestHits, misses, sharedHits, evictions int64
+	aotEntries                                            int
 }
 
 // New builds an empty cache over the given keyer.
@@ -269,14 +332,21 @@ func New(keyer *Keyer, cfg Config) *Cache {
 func (c *Cache) Keyer() *Keyer { return c.keyer }
 
 // Len returns the number of cached plans.
-func (c *Cache) Len() int { return len(c.order) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
 
 // Stats returns the cache's lifetime counters.
 func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
 		ExactHits:   c.exactHits,
 		NearestHits: c.nearestHits,
 		Misses:      c.misses,
+		SharedHits:  c.sharedHits,
 		Entries:     len(c.order),
 		AOTEntries:  c.aotEntries,
 		Evictions:   c.evictions,
@@ -288,11 +358,13 @@ func (c *Cache) Stats() Stats {
 // hardware config and policy; with Config.Nearest enabled, the closest
 // cached profile within MaxDist matches approximately.
 func (c *Cache) Lookup(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind) {
-	plan, kind, _ := c.lookup(c.keyer.makeKey(cfg, g, pol, prof))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plan, kind, _ := c.lookup(c.keyer.makeKey(cfg, g, pol, prof), "")
 	return plan, kind
 }
 
-func (c *Cache) lookup(k key) (*sched.Plan, HitKind, key) {
+func (c *Cache) lookup(k key, origin string) (*sched.Plan, HitKind, key) {
 	b := c.buckets[k.scope]
 	if b == nil {
 		c.misses++
@@ -300,6 +372,9 @@ func (c *Cache) lookup(k key) (*sched.Plan, HitKind, key) {
 	}
 	if e, ok := b.byFP[k.fp]; ok {
 		c.exactHits++
+		if e.origin != origin {
+			c.sharedHits++
+		}
 		return e.plan, HitExact, k
 	}
 	if c.cfg.Nearest {
@@ -312,6 +387,9 @@ func (c *Cache) lookup(k key) (*sched.Plan, HitKind, key) {
 		}
 		if best != nil && bestDist <= c.cfg.MaxDist {
 			c.nearestHits++
+			if best.origin != origin {
+				c.sharedHits++
+			}
 			return best.plan, HitNearest, k
 		}
 	}
@@ -322,20 +400,30 @@ func (c *Cache) lookup(k key) (*sched.Plan, HitKind, key) {
 // Put stores a plan under the given scheduler inputs (replacing any entry
 // with the identical fingerprint).
 func (c *Cache) Put(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler, plan *sched.Plan) {
-	c.put(c.keyer.makeKey(cfg, g, pol, prof), plan, false)
+	c.PutFor("", cfg, g, pol, prof, plan)
 }
 
-func (c *Cache) put(k key, plan *sched.Plan, aot bool) {
+// PutFor is Put with an origin tag: the entry remembers who solved it, so
+// later hits by other origins count in Stats.SharedHits. A refresh of an
+// existing fingerprint keeps the original origin — the first solver gets the
+// credit, and identical bring-up seeds across a fleet stay one entry.
+func (c *Cache) PutFor(origin string, cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler, plan *sched.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(c.keyer.makeKey(cfg, g, pol, prof), plan, false, origin)
+}
+
+func (c *Cache) put(k key, plan *sched.Plan, aot bool, origin string) {
 	b := c.buckets[k.scope]
 	if b == nil {
 		b = &bucket{byFP: map[uint64]*entry{}}
 		c.buckets[k.scope] = b
 	}
 	if old, ok := b.byFP[k.fp]; ok {
-		old.plan = plan // refresh in place; identity (key) is unchanged
+		old.plan = plan // refresh in place; identity (key and origin) unchanged
 		return
 	}
-	e := &entry{key: k, plan: plan, aot: aot}
+	e := &entry{key: k, plan: plan, aot: aot, origin: origin}
 	b.byFP[k.fp] = e
 	b.entries = append(b.entries, e)
 	c.order = append(c.order, e)
@@ -385,14 +473,25 @@ func (c *Cache) evictOldest() {
 // The returned HitKind tells the caller what to charge — a miss costs a
 // host-side solve, a hit only the plan swap.
 func (c *Cache) GetOrSchedule(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind, error) {
+	return c.GetOrScheduleFor("", cfg, g, pol, prof)
+}
+
+// GetOrScheduleFor is GetOrSchedule with an origin tag (a replica name in a
+// fleet): misses store the solved plan under that origin, and hits on another
+// origin's entry count in Stats.SharedHits. The cache mutex is held across
+// the fresh solve, so concurrent misses on one key serialize instead of
+// double-solving.
+func (c *Cache) GetOrScheduleFor(origin string, cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := c.keyer.makeKey(cfg, g, pol, prof)
-	if plan, kind, _ := c.lookup(k); kind != Miss {
+	if plan, kind, _ := c.lookup(k, origin); kind != Miss {
 		return plan, kind, nil
 	}
 	plan, err := sched.Schedule(cfg, g, pol, prof)
 	if err != nil {
 		return nil, Miss, fmt.Errorf("plancache: fresh solve: %w", err)
 	}
-	c.put(k, plan, false)
+	c.put(k, plan, false, origin)
 	return plan, Miss, nil
 }

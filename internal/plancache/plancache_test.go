@@ -160,10 +160,10 @@ func TestEvictionPrefersOnlineEntries(t *testing.T) {
 		dc.FailedTiles = hw.NewTileMask(n)
 		return c.keyer.makeKey(dc, w.Graph, pol, prof)
 	}
-	c.put(keyAt(0), plan, true)
-	c.put(keyAt(1), plan, true)
+	c.put(keyAt(0), plan, true, "")
+	c.put(keyAt(1), plan, true, "")
 	for n := 2; n < 8; n++ {
-		c.put(keyAt(n), plan, false)
+		c.put(keyAt(n), plan, false, "")
 	}
 	st := c.Stats()
 	if st.Entries != 3 || st.AOTEntries != 2 {
@@ -180,8 +180,8 @@ func TestEvictionPrefersOnlineEntries(t *testing.T) {
 	}
 	// Once only AOT entries remain, the bound still holds: they go too.
 	tiny := New(NewKeyer(w.Graph, 0), Config{MaxEntries: 1})
-	tiny.put(keyAt(0), plan, true)
-	tiny.put(keyAt(1), plan, true)
+	tiny.put(keyAt(0), plan, true, "")
+	tiny.put(keyAt(1), plan, true, "")
 	if st := tiny.Stats(); st.Entries != 1 || st.AOTEntries != 1 {
 		t.Fatalf("AOT-only cache stats %+v, want 1 entry", st)
 	}

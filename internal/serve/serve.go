@@ -111,6 +111,10 @@ type Config struct {
 	// building a private one — warm restarts and replica fleets share solved
 	// plans this way. Implies PlanCache.
 	SharedPlanCache *plancache.Cache
+	// PlanCacheOrigin tags this server's cache stores (a replica name in a
+	// fleet): hits on entries another origin solved count in the cache's
+	// SharedHits statistic. Empty outside fleets.
+	PlanCacheOrigin string
 	// HostReschedCycles charges the host-side solve latency of a re-plan
 	// into virtual time (the machine idles while the scheduler runs). Cache
 	// hits skip the charge — that asymmetry is what lets cached serving
@@ -281,8 +285,15 @@ type Server struct {
 
 	queue         []Request
 	queuedSamples int
+	pending       []Request // enqueued by a fleet router, not yet admitted
 	rep           *Report
 	sinceResched  int
+
+	// keyer and planKey support plan-affinity routing: planKey is the
+	// quantized branch-share snapshot of the profile the current plan was
+	// solved from, refreshed on every re-plan.
+	keyer   *plancache.Keyer
+	planKey plancache.ProfileKey
 
 	// rec is the telemetry recorder shared with the machine (nil when
 	// Config.RC.Trace was nil): the serving loop adds batch spans, shed and
@@ -331,7 +342,7 @@ func New(cfg Config) (*Server, error) {
 		// Seed the cache with the bring-up plan: the profiler still holds
 		// exactly the warmup state that plan was solved from, so the entry's
 		// fingerprint is the one a fresh solve of the same state would key.
-		s.pcache.Put(cfg.RC.HW, setup.W.Graph, setup.Policy, setup.M.Profiler(), setup.Plan)
+		s.pcache.PutFor(cfg.PlanCacheOrigin, cfg.RC.HW, setup.W.Graph, setup.Policy, setup.M.Profiler(), setup.Plan)
 		if cfg.PlanCacheAOT {
 			s.pcache.Precompute(cfg.RC.HW, setup.W.Graph, setup.Policy, setup.M.Profiler(), plancache.AOTConfig{
 				BatchUnits:     cfg.RC.Batch * setup.W.Graph.UnitsPerSample,
@@ -340,6 +351,14 @@ func New(cfg Config) (*Server, error) {
 			})
 		}
 	}
+	if s.pcache != nil {
+		s.keyer = s.pcache.Keyer()
+	} else {
+		s.keyer = plancache.NewKeyer(setup.W.Graph, 0)
+	}
+	// The bring-up plan was solved from the warmup profile the profiler still
+	// holds; snapshot its branch shares as the plan's affinity key.
+	s.planKey = s.keyer.ShareKey(setup.M.Profiler())
 	return s, nil
 }
 
@@ -363,34 +382,103 @@ func (s *Server) Setup() *core.Setup { return s.setup }
 // Serve drains the request stream and returns the outcome report. The
 // machine clock and profiler state persist across calls, so successive Serve
 // calls model one long-running deployment.
+//
+// Serve is a thin driver over the incremental session API (Begin / StepTo /
+// Enqueue / Drain / Finish) — the same loop a fleet router runs across many
+// servers, collapsed onto one. The two paths are byte-identical by
+// construction.
 func (s *Server) Serve(src Source) (*Report, error) {
-	m := s.setup.M
-	rep := &Report{Model: s.setup.W.Name, Design: s.cfg.Design}
-	s.rep = rep
-	s.sinceResched = 0
+	s.Begin()
+	for req, more := src.Next(); more; req, more = src.Next() {
+		if err := s.StepTo(req.Arrival); err != nil {
+			return nil, err
+		}
+		s.Enqueue(req)
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
 
-	next, more := src.Next()
-	admit := func(now int64) {
-		for more && next.Arrival <= now {
-			s.admit(next)
-			next, more = src.Next()
+// Begin opens an incremental serving session: a fresh report and drift
+// cooldown. Callers driving the server themselves (the fleet router) call
+// Begin once, then interleave Enqueue and StepTo, and close with Drain and
+// Finish. The machine clock and profiler persist across sessions.
+func (s *Server) Begin() {
+	s.rep = &Report{Model: s.setup.W.Name, Design: s.cfg.Design}
+	s.sinceResched = 0
+}
+
+// Enqueue hands the server a request routed to it. The request joins a
+// pending buffer and is admitted (or shed) once the serving loop's clock
+// reaches its arrival time — which requires a StepTo call whose horizon
+// covers it. Requests must be enqueued in non-decreasing arrival order.
+func (s *Server) Enqueue(req Request) {
+	s.pending = append(s.pending, req)
+}
+
+// StepTo advances the serving loop until every action whose decision time
+// lies before the horizon has been taken: pending arrivals admitted, full
+// batches fired, queue-wait deadlines honored, fault events applied. A
+// decision at or past the horizon is deferred — arrivals at the horizon
+// itself may still be routed here, so the loop must not commit to a batch
+// before seeing them. On return the machine clock is at or past the horizon
+// (exactly at it when the server is idle).
+func (s *Server) StepTo(horizon int64) error {
+	return s.step(horizon, false)
+}
+
+// Drain serves out every enqueued and queued request with no further
+// arrivals coming: the stream tail honors the same dual batching policy as
+// steady state (a final partial batch waits out MaxWaitCycles).
+func (s *Server) Drain() error {
+	return s.step(0, true)
+}
+
+// Finish closes the session opened by Begin and returns its report.
+func (s *Server) Finish() *Report {
+	rep := s.rep
+	lats := make([]float64, 0, len(rep.Outcomes))
+	for _, o := range rep.Outcomes {
+		if o.Outcome != Shed {
+			lats = append(lats, float64(o.Latency()))
 		}
 	}
+	rep.Latency = metrics.Summarize(lats)
+	rep.FinalCycles = int64(s.setup.M.Now())
+	return rep
+}
+
+// step is the serving loop shared by StepTo (bounded by horizon) and Drain
+// (draining ignores the horizon: no more arrivals can ever be routed here).
+func (s *Server) step(horizon int64, draining bool) error {
+	m := s.setup.M
 	for {
 		now := int64(m.Now())
 		// Fold any fault events that struck (or repaired) by now into the
 		// machine before more work is placed on it.
 		if err := s.applyFaults(now); err != nil {
-			return nil, err
+			return err
 		}
-		admit(now)
+		s.admitPending(now)
+		// The next pending arrival bounds every idle jump below: admission
+		// must happen at arrival time, exactly like the fused Serve loop.
+		nextArr := int64(-1)
+		if len(s.pending) > 0 && (draining || s.pending[0].Arrival <= horizon) {
+			nextArr = s.pending[0].Arrival
+		}
 		if len(s.queue) == 0 {
-			if !more {
-				break
+			if nextArr >= 0 {
+				s.idleTo(nextArr)
+				continue
 			}
-			// Idle: jump the machine clock to the next arrival (stopping at
-			// fault boundaries so capability changes land on time).
-			s.idleTo(next.Arrival)
+			if draining || now >= horizon {
+				return nil
+			}
+			// Idle up to the horizon (stopping at fault boundaries so
+			// capability changes land on time).
+			s.idleTo(horizon)
 			continue
 		}
 		// Dual batching policy: fire when the batch-size cap is reached or
@@ -399,32 +487,104 @@ func (s *Server) Serve(src Source) (*Report, error) {
 		fireAt := s.queue[0].Arrival + s.cfg.MaxWaitCycles
 		full := s.queuedSamples >= s.cfg.MaxBatch || s.queue[0].Routing != nil
 		if !full && now < fireAt {
-			if more && next.Arrival < fireAt {
-				s.idleTo(next.Arrival)
+			if nextArr >= 0 && nextArr < fireAt {
+				s.idleTo(nextArr)
 				continue
 			}
-			// The next arrival (or end of stream) lands past the wait
-			// deadline: idle to the deadline and fire the partial batch. The
-			// stream tail honors the same dual policy as steady state — a
-			// final partial batch waits out MaxWaitCycles like any other.
+			if !draining && horizon < fireAt {
+				// The wait deadline lies past the horizon: future arrivals
+				// could still join this batch. Hand control back.
+				if now >= horizon {
+					return nil
+				}
+				s.idleTo(horizon)
+				continue
+			}
+			// No arrival can land before the wait deadline: idle to the
+			// deadline and fire the partial batch.
 			s.idleTo(fireAt)
 			if int64(m.Now()) < fireAt {
 				continue // stopped at a fault boundary first
 			}
+		} else if !draining && now >= horizon {
+			// Full batch (or expired deadline), but the decision time has
+			// reached the horizon: arrivals at the horizon may still be
+			// routed here and belong in this batch. Defer the fire.
+			return nil
 		}
 		if err := s.fireBatch(int64(m.Now())); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	lats := make([]float64, 0, len(rep.Outcomes))
-	for _, o := range rep.Outcomes {
-		if o.Outcome != Shed {
-			lats = append(lats, float64(o.Latency()))
+}
+
+// admitPending admits every pending request that has arrived by now, in
+// enqueue order.
+func (s *Server) admitPending(now int64) {
+	i := 0
+	for i < len(s.pending) && s.pending[i].Arrival <= now {
+		s.admit(s.pending[i])
+		i++
+	}
+	if i > 0 {
+		s.pending = s.pending[i:]
+	}
+}
+
+// Now returns the machine clock in cycles.
+func (s *Server) Now() int64 { return int64(s.setup.M.Now()) }
+
+// QueuedSamples returns the backlog visible to a router: admitted queue
+// samples plus enqueued-but-unadmitted pending samples.
+func (s *Server) QueuedSamples() int {
+	n := s.queuedSamples
+	for _, req := range s.pending {
+		if req.Samples > 0 {
+			n += req.Samples
+		} else {
+			n++
 		}
 	}
-	rep.Latency = metrics.Summarize(lats)
-	rep.FinalCycles = int64(m.Now())
-	return rep, nil
+	return n
+}
+
+// HasWork reports whether any request is still queued or pending.
+func (s *Server) HasWork() bool { return len(s.queue) > 0 || len(s.pending) > 0 }
+
+// Busy returns how many cycles of in-flight batch execution remain past the
+// given instant (the machine clock overshoots a step horizon exactly when a
+// batch is executing across it). A router stepping the server to time t can
+// therefore see occupancy the queue depth alone hides.
+func (s *Server) Busy(now int64) int64 {
+	if d := int64(s.setup.M.Now()) - now; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// PlanKey returns the affinity key of the current plan: the quantized
+// branch-share snapshot of the profile it was solved from.
+func (s *Server) PlanKey() plancache.ProfileKey { return s.planKey }
+
+// Keyer returns the plan-affinity keyer (the plan cache's when one is
+// enabled, a private one otherwise).
+func (s *Server) Keyer() *plancache.Keyer { return s.keyer }
+
+// EvictQueued removes every queued and pending request without recording an
+// outcome and returns them in arrival order. The fleet layer uses it when a
+// replica fails: the backlog re-routes to survivors, with the queue time
+// already accrued charged into their eventual latency.
+func (s *Server) EvictQueued() []Request {
+	out := make([]Request, 0, len(s.queue)+len(s.pending))
+	out = append(out, s.queue...)
+	out = append(out, s.pending...)
+	s.queue = nil
+	s.pending = nil
+	s.queuedSamples = 0
+	if s.rec.Enabled() {
+		s.rec.Counter(s.serveTrack, "serve", "queue_depth", int64(s.setup.M.Now()), 0)
+	}
+	return out
 }
 
 func (s *Server) admit(req Request) {
@@ -597,7 +757,7 @@ func (s *Server) replan(track telemetry.TrackID, trackName string) (int64, error
 	kind := plancache.Miss
 	var err error
 	if s.pcache != nil {
-		plan, kind, err = s.pcache.GetOrSchedule(cfg, g, s.setup.Policy, m.Profiler())
+		plan, kind, err = s.pcache.GetOrScheduleFor(s.cfg.PlanCacheOrigin, cfg, g, s.setup.Policy, m.Profiler())
 	} else {
 		plan, err = sched.Schedule(cfg, g, s.setup.Policy, m.Profiler())
 	}
@@ -635,6 +795,9 @@ func (s *Server) replan(track telemetry.TrackID, trackName string) (int64, error
 	swap := m.Stats().ReconfigCycles - before
 	s.rep.ReconfigCycles += swap
 	s.setup.Plan = plan
+	// Snapshot the profile the new plan answers to before the window ages:
+	// this is the affinity key routers match request fingerprints against.
+	s.planKey = s.keyer.ShareKey(m.Profiler())
 	m.Profiler().Reset()
 	s.det.Rebase()
 	s.sinceResched = 0

@@ -1,0 +1,215 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Conservative-PDES domain analysis for one machine. The parallel engine
+// (sim.Cluster) can only advance two domains concurrently inside a lookahead
+// window bounded by the minimum latency of any interaction between them. This
+// file derives that bound from the hardware topology: it partitions a chip
+// into candidate domains — tile clusters, the NoC, the HBM — computes the
+// minimum cross-domain latencies from the same constants the substrates
+// charge (noc.probeCycles, the HBM booking model), and collapses domain
+// pairs whose bound is zero.
+//
+// The punchline is negative, and worth pinning: *every* intra-machine
+// partition collapses to a single domain. Tile processes interact with the
+// NoC and HBM through synchronous bandwidth bookings (sim.Server.Reserve
+// mutates the shared freeAt/servedBytes booking state at the instant of the
+// call, order-sensitively), so the minimum tile-to-substrate latency is zero
+// and no conservative window can separate them. The NoC probe handshake has
+// real latency (2(h+1) router-hop cycles), but it rides on the same
+// zero-latency injection bookings. That is why the profitable unit of
+// parallelism in this codebase is the whole machine: fleet replicas share
+// nothing on the event queue, get Forever lookahead, and parallelize cleanly
+// (internal/fleet Workers), while intra-machine sharding would buy windows
+// of width zero. Partition documents that argument as executable analysis
+// instead of a comment.
+
+// Domain is one candidate shard of a machine's event space.
+type Domain struct {
+	// Name identifies the domain ("tiles[0:36]", "noc", "hbm").
+	Name string
+	// Tiles lists the physical tiles the domain owns (nil for the NoC and
+	// HBM substrate domains).
+	Tiles []int
+}
+
+// Partition is a candidate decomposition of one machine plus the
+// conservative lookahead bounds between its parts.
+type Partition struct {
+	// Domains are the candidate shards, in canonical order: tile clusters
+	// first (row-major bands), then "noc", then "hbm".
+	Domains []Domain
+	// MinLatency[i][j] bounds, in cycles, how soon any interaction initiated
+	// by Domains[i] can become visible to Domains[j]. Zero means the
+	// interaction is synchronous — the pair cannot advance concurrently.
+	MinLatency [][]sim.Time
+}
+
+// PartitionMachine decomposes a chip into clusters row-major tile bands plus
+// the NoC and HBM substrate domains, with cross-domain latency bounds derived
+// from cfg. clusters is clamped to [1, TilesY].
+func PartitionMachine(cfg hw.Config, clusters int) Partition {
+	if clusters < 1 {
+		clusters = 1
+	}
+	if clusters > cfg.TilesY {
+		clusters = cfg.TilesY
+	}
+	var p Partition
+	rowsPer := (cfg.TilesY + clusters - 1) / clusters
+	for row := 0; row < cfg.TilesY; row += rowsPer {
+		end := row + rowsPer
+		if end > cfg.TilesY {
+			end = cfg.TilesY
+		}
+		d := Domain{Name: fmt.Sprintf("tiles[%d:%d]", row*cfg.TilesX, end*cfg.TilesX)}
+		for t := row * cfg.TilesX; t < end*cfg.TilesX; t++ {
+			d.Tiles = append(d.Tiles, t)
+		}
+		p.Domains = append(p.Domains, d)
+	}
+	nTile := len(p.Domains)
+	p.Domains = append(p.Domains, Domain{Name: "noc"}, Domain{Name: "hbm"})
+	n := len(p.Domains)
+	nocIdx, hbmIdx := nTile, nTile+1
+
+	p.MinLatency = make([][]sim.Time, n)
+	for i := range p.MinLatency {
+		p.MinLatency[i] = make([]sim.Time, n)
+		for j := range p.MinLatency[i] {
+			p.MinLatency[i][j] = sim.Forever
+		}
+		p.MinLatency[i][i] = 0
+	}
+	// Tile cluster <-> tile cluster: the cheapest visible interaction is a
+	// probe packet between adjacent tiles across the band boundary — one
+	// hop's round-trip handshake. On a torus every distinct band pair has an
+	// adjacent row somewhere, so one hop is the bound for all pairs.
+	probe := noc.MinVisibleLatency(cfg, 1)
+	for i := 0; i < nTile; i++ {
+		for j := 0; j < nTile; j++ {
+			if i != j {
+				p.MinLatency[i][j] = probe
+			}
+		}
+	}
+	// Tile <-> NoC and tile <-> HBM: bandwidth bookings are synchronous
+	// calls into the shared sim.Server state (freeAt, servedBytes move the
+	// instant a tile process injects or reserves), so the bound is zero in
+	// both directions. This is the edge that collapses every machine
+	// partition.
+	for i := 0; i < nTile; i++ {
+		p.MinLatency[i][nocIdx], p.MinLatency[nocIdx][i] = 0, 0
+		p.MinLatency[i][hbmIdx], p.MinLatency[hbmIdx][i] = 0, 0
+	}
+	// NoC <-> HBM: both are pure booking state driven by tile processes;
+	// they never interact directly, which Forever already encodes.
+	return p
+}
+
+// Lookahead returns the widest conservative window the partition supports:
+// the minimum cross-domain latency bound. A zero lookahead means the
+// partition cannot advance any pair of domains concurrently.
+func (p *Partition) Lookahead() sim.Time {
+	la := sim.Forever
+	for i := range p.MinLatency {
+		for j, l := range p.MinLatency[i] {
+			if i != j && l < la {
+				la = l
+			}
+		}
+	}
+	return la
+}
+
+// Collapse merges every pair of domains connected (transitively) by a
+// zero-latency interaction — pairs a conservative engine could never step
+// concurrently anyway — and returns the reduced partition, with merged
+// latency bounds taken pairwise-minimum over the members. For any real
+// hw.Config this reduces the machine to one domain: the executable form of
+// the argument that intra-machine sharding is unprofitable and replica-level
+// sharding (internal/fleet) is the right grain.
+func (p *Partition) Collapse() Partition {
+	n := len(p.Domains)
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if group[i] != i {
+			group[i] = find(group[i])
+		}
+		return group[i]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && (p.MinLatency[i][j] == 0 || p.MinLatency[j][i] == 0) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					if rj < ri {
+						ri, rj = rj, ri
+					}
+					group[rj] = ri
+				}
+			}
+		}
+	}
+	// Order merged groups by their smallest member to keep canonical order.
+	index := map[int]int{}
+	var out Partition
+	for i := 0; i < n; i++ {
+		r := find(i)
+		gi, ok := index[r]
+		if !ok {
+			gi = len(out.Domains)
+			index[r] = gi
+			out.Domains = append(out.Domains, Domain{Name: p.Domains[i].Name})
+		} else {
+			out.Domains[gi].Name += "+" + p.Domains[i].Name
+		}
+		out.Domains[gi].Tiles = append(out.Domains[gi].Tiles, p.Domains[i].Tiles...)
+	}
+	m := len(out.Domains)
+	out.MinLatency = make([][]sim.Time, m)
+	for i := range out.MinLatency {
+		out.MinLatency[i] = make([]sim.Time, m)
+		for j := range out.MinLatency[i] {
+			out.MinLatency[i][j] = sim.Forever
+		}
+		out.MinLatency[i][i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			gi, gj := index[find(i)], index[find(j)]
+			if gi != gj && p.MinLatency[i][j] < out.MinLatency[gi][gj] {
+				out.MinLatency[gi][gj] = p.MinLatency[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// Apply installs the partition's latency bounds as Link declarations on a
+// cluster whose domain ids[i] corresponds to Domains[i]. Forever bounds
+// (domains that never interact) are left to the cluster's default lookahead.
+func (p *Partition) Apply(cl *sim.Cluster, ids []sim.DomainID) error {
+	if len(ids) != len(p.Domains) {
+		return fmt.Errorf("accel: %d cluster domains for %d partition domains", len(ids), len(p.Domains))
+	}
+	for i := range p.MinLatency {
+		for j, l := range p.MinLatency[i] {
+			if i != j && l < sim.Forever {
+				cl.Link(ids[i], ids[j], l)
+			}
+		}
+	}
+	return nil
+}

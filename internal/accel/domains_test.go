@@ -1,0 +1,133 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// TestPartitionMachineCollapsesToOneDomain pins the negative result the
+// domain analysis exists to document: for the real chip, every candidate
+// intra-machine partition has zero lookahead (tile processes book NoC and
+// HBM bandwidth synchronously) and therefore collapses to a single domain —
+// the reason the parallel engine shards at replica granularity instead.
+func TestPartitionMachineCollapsesToOneDomain(t *testing.T) {
+	for _, clusters := range []int{1, 2, 4, 12} {
+		p := PartitionMachine(hw.Default(), clusters)
+		if la := p.Lookahead(); la != 0 {
+			t.Fatalf("clusters=%d: lookahead %d, want 0 (synchronous substrate bookings)", clusters, la)
+		}
+		c := p.Collapse()
+		if len(c.Domains) != 1 {
+			names := make([]string, len(c.Domains))
+			for i, d := range c.Domains {
+				names[i] = d.Name
+			}
+			t.Fatalf("clusters=%d: collapsed to %d domains %v, want 1", clusters, len(c.Domains), names)
+		}
+		if got, want := len(c.Domains[0].Tiles), hw.Default().Tiles(); got != want {
+			t.Fatalf("clusters=%d: merged domain owns %d tiles, want %d", clusters, got, want)
+		}
+	}
+}
+
+// TestPartitionMachineShape checks the pre-collapse decomposition: the
+// requested tile bands plus the two substrate domains, every tile owned
+// exactly once, probe-derived bounds between tile clusters, and zero bounds
+// on the tile-substrate edges.
+func TestPartitionMachineShape(t *testing.T) {
+	cfg := hw.Default()
+	p := PartitionMachine(cfg, 4)
+	if len(p.Domains) != 6 { // 4 bands + noc + hbm
+		t.Fatalf("got %d domains, want 6", len(p.Domains))
+	}
+	owned := map[int]bool{}
+	for _, d := range p.Domains[:4] {
+		for _, tile := range d.Tiles {
+			if owned[tile] {
+				t.Fatalf("tile %d owned twice", tile)
+			}
+			owned[tile] = true
+		}
+	}
+	if len(owned) != cfg.Tiles() {
+		t.Fatalf("%d tiles owned, want %d", len(owned), cfg.Tiles())
+	}
+	probe := sim.Time(4 * cfg.RouterHopCycles)
+	if got := p.MinLatency[0][1]; got != probe {
+		t.Fatalf("cluster-to-cluster bound %d, want %d", got, probe)
+	}
+	if p.MinLatency[0][4] != 0 || p.MinLatency[4][0] != 0 {
+		t.Fatalf("tile<->noc bound not zero: %d/%d", p.MinLatency[0][4], p.MinLatency[4][0])
+	}
+	if p.MinLatency[0][5] != 0 || p.MinLatency[5][0] != 0 {
+		t.Fatalf("tile<->hbm bound not zero: %d/%d", p.MinLatency[0][5], p.MinLatency[5][0])
+	}
+	if p.MinLatency[4][5] != sim.Forever {
+		t.Fatalf("noc<->hbm bound %d, want Forever (never interact directly)", p.MinLatency[4][5])
+	}
+}
+
+// TestPartitionDegenerateConfigs pins the fallbacks: a single-tile chip
+// clamps to one tile band (which still collapses with the substrates into
+// one domain), and a zero-latency NoC drives even the cluster-to-cluster
+// bounds to zero — full collapse, no negative or nonsensical lookaheads.
+func TestPartitionDegenerateConfigs(t *testing.T) {
+	single := hw.Default()
+	single.TilesX, single.TilesY = 1, 1
+	p := PartitionMachine(single, 8)
+	if len(p.Domains) != 3 { // one clamped band + noc + hbm
+		t.Fatalf("single tile: %d domains, want 3", len(p.Domains))
+	}
+	if c := p.Collapse(); len(c.Domains) != 1 || len(c.Domains[0].Tiles) != 1 {
+		t.Fatalf("single tile: collapse gave %d domains", len(c.Domains))
+	}
+
+	zero := hw.Default()
+	zero.RouterHopCycles = 0
+	p = PartitionMachine(zero, 4)
+	if got := p.MinLatency[0][1]; got != 0 {
+		t.Fatalf("zero-latency NoC: cluster bound %d, want 0", got)
+	}
+	if la := p.Lookahead(); la != 0 {
+		t.Fatalf("zero-latency NoC: lookahead %d, want 0", la)
+	}
+	if c := p.Collapse(); len(c.Domains) != 1 {
+		t.Fatalf("zero-latency NoC: collapse gave %d domains", len(c.Domains))
+	}
+}
+
+// TestPartitionHypotheticalKeepsLatentDomains checks Collapse and Apply on a
+// partition whose interactions all have real latency — the shape a
+// message-passing chip would produce: nothing merges, the lookahead is the
+// smallest bound, and Apply installs the links on a cluster.
+func TestPartitionHypotheticalKeepsLatentDomains(t *testing.T) {
+	p := Partition{
+		Domains: []Domain{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		MinLatency: [][]sim.Time{
+			{0, 8, 12},
+			{8, 0, 5},
+			{sim.Forever, 5, 0},
+		},
+	}
+	c := p.Collapse()
+	if len(c.Domains) != 3 {
+		t.Fatalf("latent partition collapsed to %d domains", len(c.Domains))
+	}
+	if la := c.Lookahead(); la != 5 {
+		t.Fatalf("lookahead %d, want 5", la)
+	}
+
+	cl := sim.NewCluster(2)
+	ids := make([]sim.DomainID, 3)
+	for i, d := range c.Domains {
+		ids[i] = cl.AddEnv(d.Name, sim.NewEnv())
+	}
+	if err := c.Apply(cl, ids); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := c.Apply(cl, ids[:2]); err == nil {
+		t.Fatal("Apply accepted a short id list")
+	}
+}

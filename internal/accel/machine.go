@@ -45,17 +45,17 @@ type Options struct {
 
 // Stats accumulates everything the evaluation figures need.
 type Stats struct {
-	Cycles           int64
-	Batches          int
+	Cycles           int64 // total machine cycles consumed by executed batches
+	Batches          int   // batches executed (Run windows plus stream submissions)
 	MACs             int64 // issued MACs, including padding/alignment waste
 	UsefulMACs       int64 // MACs strictly required by the actual dyn values
-	SRAMBytes        int64
-	HBMBytes         int64
-	NoCByteHops      int64
+	SRAMBytes        int64 // bytes moved through tile SRAM
+	HBMBytes         int64 // bytes transferred over the HBM interface
+	NoCByteHops      int64 // byte-hops injected into the on-chip network
 	PEBusyTileCycles int64 // sum over invocations of cycles x tiles occupied
-	ReconfigCycles   int64
-	Reconfigs        int
-	KernelSelections int64
+	ReconfigCycles   int64 // cycles spent in partition reconfiguration stalls
+	Reconfigs        int   // partition reconfigurations performed
+	KernelSelections int64 // per-invocation kernel-variant selections made
 }
 
 // Machine simulates one accelerator executing one dynamic operator graph.
@@ -80,10 +80,15 @@ type Machine struct {
 	// time its final-segment job completed and the window start time —
 	// the machine's per-batch latency record.
 	batchDone []BatchLatency
-	// entityTok holds one token per entity lead: an entity's tiles process
-	// one job at a time, in spawn (batch) order. Acquiring the token is what
-	// serializes a pipeline stage across in-flight batches.
-	entityTok map[graph.OpID]*sim.Store
+	// entityTok holds one token per (segment, entity lead): an entity's tiles
+	// process one job at a time, in spawn (batch) order. Acquiring the token
+	// is what serializes a pipeline stage across in-flight batches. Keying by
+	// segment as well as lead lets the streaming API keep several segments in
+	// flight at once (batch k in segment 1 while batch k+1 runs segment 0)
+	// without the stages colliding; for the segment-major Run path it is
+	// equivalent to the former per-segment token reset, since every token is
+	// at rest (full) when a segment's window drains.
+	entityTok map[entityKey]*sim.Store
 
 	// computeOps and niNames are derived from the graph once at construction:
 	// the per-batch statistics loop and every entity spawn would otherwise
@@ -129,7 +134,7 @@ func New(cfg hw.Config, g *graph.Graph, opts Options) (*Machine, error) {
 		hbm:        mem.New(env, cfg),
 		noc:        noc.New(env, cfg),
 		prof:       profiler.New(g),
-		entityTok:  map[graph.OpID]*sim.Store{},
+		entityTok:  map[entityKey]*sim.Store{},
 		computeOps: g.ComputeOps(),
 		niNames:    niNames,
 		entsBuf:    map[graph.OpID]*jobEntity{},
@@ -419,9 +424,6 @@ func (m *Machine) Run(batches []workload.Batch) error {
 				inflight = inflight[:0]
 			}
 			notBefore := p.Now()
-			if si > 0 {
-				clear(m.entityTok)
-			}
 			for i := range batches {
 				j, err := m.prepareJob(seg, unitsPer[i])
 				if err != nil {
@@ -631,11 +633,12 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 func (m *Machine) spawnJob(j *job) {
 	for _, je := range j.ents {
 		je := je
-		tok, ok := m.entityTok[je.lead]
+		key := entityKey{seg: j.seg.Index, lead: je.lead}
+		tok, ok := m.entityTok[key]
 		if !ok {
 			tok = sim.NewStore(m.env, 1)
 			tok.TryPut(struct{}{})
-			m.entityTok[je.lead] = tok
+			m.entityTok[key] = tok
 		}
 		m.env.Go(m.g.Op(je.lead).Name, func(p *sim.Proc) {
 			// Serialize this pipeline stage across in-flight batches: the

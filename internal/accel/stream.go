@@ -1,0 +1,160 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Streaming execution: the batch-pipelined alternative to Run. Run is
+// window-oriented — it takes a whole batch window, executes it segment-major,
+// and blocks until the pipeline drains, which is the right shape for the
+// offline experiments but forces an online serving loop to freeze admission
+// for the full latency of every batch. The Stream* API below instead lets the
+// serving layer keep several batches in flight on the machine at once:
+//
+//	tk, _ := m.StreamSubmit(b)   // launch batch b's segment chain, non-blocking
+//	m.StepTo(t)                  // advance the clock, overlapping in-flight work
+//	done, _ := m.StreamRetire(tk) // run until b completes, collect its latency
+//	m.StreamDrain()              // run every in-flight batch to completion
+//
+// A streamed batch executes batch-major: its jobs flow segment 0, 1, ...
+// in order, each segment's weights reserved when the batch reaches it —
+// exactly the per-batch cost a single-batch Run window pays. Cross-batch
+// pipelining comes from the per-(segment, entity) stage tokens: batch k+1's
+// segment-0 entities start as soon as batch k releases them, while batch k
+// is already computing segment 1. Everything stays on the one deterministic
+// event queue, so a streamed schedule is reproducible at any GOMAXPROCS.
+//
+// LoadPlan and SetCapability still require a drained pipeline (no tickets in
+// flight), just as they require Run to have returned.
+
+// entityKey identifies a pipeline stage: one entity of one segment.
+type entityKey struct {
+	seg  int
+	lead graph.OpID
+}
+
+// StreamTicket tracks one in-flight streamed batch from StreamSubmit to
+// completion.
+type StreamTicket struct {
+	start  sim.Time
+	doneAt sim.Time
+	done   *sim.Signal
+	err    error
+}
+
+// Done reports whether the batch has completed (or failed).
+func (t *StreamTicket) Done() bool { return t.done.Fired() }
+
+// DoneAt returns the completion time; only meaningful once Done reports true.
+func (t *StreamTicket) DoneAt() sim.Time { return t.doneAt }
+
+// Start returns the submission time.
+func (t *StreamTicket) Start() sim.Time { return t.start }
+
+// StreamSubmit launches one batch through the loaded plan without blocking:
+// the batch's profiler observation and statistics are taken now, its segment
+// chain is spawned on the event queue, and the returned ticket resolves when
+// its final segment drains. The clock does not advance; pair with StepTo,
+// StreamRetire or StreamDrain.
+func (m *Machine) StreamSubmit(b workload.Batch) (*StreamTicket, error) {
+	if m.plan == nil {
+		return nil, fmt.Errorf("accel: no plan loaded")
+	}
+	units, err := m.g.AssignUnits(b.Units, b.Routing)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.prof.ObserveBatch(units, b.Routing); err != nil {
+		return nil, err
+	}
+	m.stats.Batches++
+	for _, id := range m.computeOps {
+		op := m.g.Op(id)
+		m.stats.UsefulMACs += op.MACsPerUnit * int64(units[id])
+	}
+	tk := &StreamTicket{start: m.env.Now(), done: sim.NewSignal(m.env)}
+	plan := m.plan
+	m.env.Go("stream", func(p *sim.Proc) {
+		for _, seg := range plan.Segments {
+			// The batch reaches this segment now: reserve its weights and
+			// run the segment's job. prepareJob never yields, so the
+			// machine's per-job scratch maps stay single-writer even with
+			// several stream drivers interleaving on the event queue.
+			weightReady := m.hbm.Reserve(seg.WeightBytes)
+			j, err := m.prepareJob(seg, units)
+			if err != nil {
+				tk.err = err
+				tk.doneAt = p.Now()
+				tk.done.Fire()
+				return
+			}
+			j.weightReady = weightReady
+			j.notBefore = p.Now()
+			m.spawnJob(j)
+			j.done.Await(p)
+		}
+		tk.doneAt = p.Now()
+		m.batchDone = append(m.batchDone, BatchLatency{Start: tk.start, Done: p.Now()})
+		if m.rec.Enabled() {
+			m.rec.Span(m.batchTrack, "batch", "batch", int64(tk.start), int64(p.Now()),
+				telemetry.I("index", int64(len(m.batchDone)-1)))
+		}
+		tk.done.Fire()
+	})
+	return tk, nil
+}
+
+// StepTo advances the clock to t, processing every pending event strictly
+// before t and leaving later work queued: in-flight streamed batches make
+// exactly the progress the interval allows. Times at or before the current
+// clock are a no-op. This is the bounded-advance primitive the pipelined
+// serving loop interleaves with admission.
+func (m *Machine) StepTo(t sim.Time) {
+	if t <= m.env.Now() {
+		return
+	}
+	_ = m.env.StepTo(t)
+}
+
+// StreamRetire runs the simulation until the ticket's batch completes and
+// returns its completion time. The clock lands on the timestamp of the
+// completing event, so later in-flight batches keep whatever progress they
+// made up to that instant and no more.
+func (m *Machine) StreamRetire(tk *StreamTicket) (sim.Time, error) {
+	for !tk.done.Fired() {
+		t, ok := m.env.NextEvent()
+		if !ok {
+			blocked := m.env.BlockedProcs()
+			if len(blocked) > 8 {
+				blocked = blocked[:8]
+			}
+			return 0, fmt.Errorf("accel: stream stalled: %d processes blocked with no pending events (e.g. %v)",
+				m.env.Live(), blocked)
+		}
+		m.env.RunUntil(t)
+	}
+	return tk.doneAt, tk.err
+}
+
+// StreamDrain runs every in-flight streamed batch to completion, with the
+// same deadlock diagnostic as Run. Callers retire their tickets first when
+// they need per-batch completion times; StreamDrain is the backstop that
+// restores the "pipeline drained" invariant LoadPlan and SetCapability rely
+// on.
+func (m *Machine) StreamDrain() error {
+	m.env.Run()
+	if m.env.Live() > 0 {
+		blocked := m.env.BlockedProcs()
+		if len(blocked) > 8 {
+			blocked = blocked[:8]
+		}
+		return fmt.Errorf("accel: deadlock: %d processes blocked after stream drain (e.g. %v)",
+			m.env.Live(), blocked)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimparByteIdentityAndPipelineGain smoke-tests the parallel-engine
+// experiment at tiny scale: the fleet half must report byte-identical
+// sequential/parallel artifacts (the experiment's core claim), and the
+// pipeline half must show a strictly shorter virtual-time makespan at depth
+// 4 than at depth 1.
+func TestSimparByteIdentityAndPipelineGain(t *testing.T) {
+	opt := tiny()
+	opt.RC.Batches = 4 // 96 fleet requests, 48 pipeline requests
+	tb, err := Simpar(opt, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.String()
+	if strings.Contains(s, "DIVERGED") || !strings.Contains(s, "byte-identical") {
+		t.Fatalf("fleet artifacts diverged between sequential and parallel stepping:\n%s", s)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5:\n%s", len(tb.Rows), s)
+	}
+	// Rows[3] is the pipeline makespan: [metric, depth-1 cycles, depth-4
+	// cycles, gain]; the overlap must shorten it.
+	if tb.Rows[3][2] >= tb.Rows[3][1] && len(tb.Rows[3][2]) >= len(tb.Rows[3][1]) {
+		t.Fatalf("pipelining did not shorten the makespan: %v", tb.Rows[3])
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/plancache"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +48,15 @@ type Config struct {
 	Replicas []ReplicaSpec
 	// Policy selects the routing policy.
 	Policy Policy
+
+	// Workers selects how many replicas advance concurrently between router
+	// events (the -simpar flag). Values <= 1 keep the legacy sequential
+	// sweep. Above 1 the fleet steps replicas through a sim.Cluster window:
+	// each replica is one conservative-PDES domain, and shared-plan-cache
+	// traffic is serialized in canonical replica order by the cluster's
+	// gate, so outcomes, snapshots, and traces stay byte-identical to the
+	// sequential sweep for every worker count and GOMAXPROCS.
+	Workers int
 
 	// ReplicaFaults optionally schedules replica-level fault domains: tile
 	// indices name replicas (in sorted-name order). Only tile kinds (fail,
@@ -128,12 +138,36 @@ type reroute struct {
 	req serve.Request
 }
 
+// repStepper adapts one replica to sim.Stepper so a cluster window can
+// advance it. Replicas hold no cluster-visible event queue — the router
+// computes every horizon itself — so NextEvent always reports idle and the
+// fleet drives explicit windows via Cluster.Step. Down replicas stay frozen
+// exactly as in the sequential sweep.
+type repStepper struct {
+	r        *replica
+	draining bool // one drain window replaces the sequential drain sweep
+}
+
+func (s *repStepper) NextEvent() (sim.Time, bool) { return 0, false }
+
+func (s *repStepper) StepTo(h sim.Time) error {
+	if s.r.down {
+		return nil
+	}
+	if s.draining {
+		return s.r.srv.Drain()
+	}
+	return s.r.srv.StepTo(int64(h))
+}
+
 // Fleet is K replicas behind one router, advancing on a shared virtual
 // timeline. Not safe for concurrent use: like the single-machine stack, the
 // router is a deterministic single-threaded discrete-event loop.
 type Fleet struct {
 	cfg          Config
 	reps         []*replica
+	cluster      *sim.Cluster  // parallel replica stepping; nil when Workers <= 1
+	steppers     []*repStepper // cluster domain adapters, canonical order
 	keyer        *plancache.Keyer
 	cache        *plancache.Cache // shared across replicas; nil when disabled
 	health       *faults.State    // replica-level fault tracker; nil without one
@@ -213,6 +247,9 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Base.RC.TraceName != "" {
 		tracePrefix = cfg.Base.RC.TraceName
 	}
+	if cfg.Workers > 1 {
+		f.cluster = sim.NewCluster(cfg.Workers)
+	}
 	for _, spec := range specs {
 		scfg := cfg.Base
 		scfg.RC.HW = spec.HW
@@ -222,15 +259,28 @@ func New(cfg Config) (*Fleet, error) {
 		if scfg.RC.Trace != nil {
 			scfg.RC.TraceName = tracePrefix + "/" + spec.Name
 		}
+		rep := &replica{name: spec.Name, active: true}
 		if f.cache != nil {
 			scfg.SharedPlanCache = f.cache
 			scfg.PlanCacheOrigin = spec.Name
+		}
+		if f.cluster != nil {
+			// Register the domain before bring-up so the gate exists for the
+			// server config; bring-up itself runs outside any window, where
+			// the gate is a no-op.
+			st := &repStepper{r: rep}
+			id := f.cluster.Add(spec.Name, st)
+			f.steppers = append(f.steppers, st)
+			if f.cache != nil {
+				scfg.PlanCacheGate = f.cluster.Gate(id)
+			}
 		}
 		srv, err := serve.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: replica %s: %w", spec.Name, err)
 		}
-		f.reps = append(f.reps, &replica{name: spec.Name, srv: srv, active: true})
+		rep.srv = srv
+		f.reps = append(f.reps, rep)
 	}
 	if !cfg.ReplicaFaults.Empty() {
 		f.health = faults.NewState(cfg.ReplicaFaults)
@@ -332,13 +382,8 @@ func (f *Fleet) Serve(src serve.Source) (*Report, error) {
 		}
 		if ev == evNone {
 			// No timed event remains: drain every live replica to completion.
-			for _, r := range f.reps {
-				if r.down {
-					continue
-				}
-				if err := r.srv.Drain(); err != nil {
-					return nil, err
-				}
+			if err := f.drainAll(); err != nil {
+				return nil, err
 			}
 			continue // loop exits at the top once the work is gone
 		}
@@ -372,15 +417,45 @@ func (f *Fleet) hasWork() bool {
 	return false
 }
 
-// stepAll advances every live replica to time t, in canonical order. Down
-// replicas stay frozen: their clocks resume (and catch up) on repair.
+// stepAll advances every live replica to time t — sequentially in canonical
+// order, or as one concurrent cluster window when Workers > 1 (Cluster.Step
+// repeats same-time windows exactly like repeated sequential StepTo calls,
+// so the two paths admit and fire identically). Down replicas stay frozen:
+// their clocks resume (and catch up) on repair.
 func (f *Fleet) stepAll(t int64) error {
+	if f.cluster != nil {
+		return f.cluster.Step(sim.Time(t))
+	}
 	for _, r := range f.reps {
 		if r.down {
 			continue
 		}
 		if err := r.srv.StepTo(t); err != nil {
 			return fmt.Errorf("fleet: replica %s: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// drainAll serves out every live replica's backlog: sequentially, or as one
+// concurrent drain window when Workers > 1.
+func (f *Fleet) drainAll() error {
+	if f.cluster != nil {
+		for _, st := range f.steppers {
+			st.draining = true
+		}
+		err := f.cluster.Step(f.cluster.Barrier())
+		for _, st := range f.steppers {
+			st.draining = false
+		}
+		return err
+	}
+	for _, r := range f.reps {
+		if r.down {
+			continue
+		}
+		if err := r.srv.Drain(); err != nil {
+			return err
 		}
 	}
 	return nil

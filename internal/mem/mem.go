@@ -2,6 +2,14 @@
 // per-stack bandwidth (Table III: 6 stacks, 1842 GB/s aggregate). Requests
 // are interleaved across stacks; contention appears as queueing on the
 // per-stack servers.
+//
+// Bandwidth bookings are synchronous: Reserve mutates the chosen stack's
+// shared sim.Server state (its free-at horizon and served-byte total) at
+// the instant of the call, order-sensitively, and returns the arrival time
+// without yielding. There is therefore no minimum latency between a tile
+// process and the HBM — the property that gives the PDES domain analysis
+// (accel.PartitionMachine) a zero tile<->HBM lookahead bound and collapses
+// every intra-machine partition to one domain.
 package mem
 
 import (

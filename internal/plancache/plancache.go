@@ -360,22 +360,25 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) Lookup(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *profiler.Profiler) (*sched.Plan, HitKind) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	plan, kind, _ := c.lookup(c.keyer.makeKey(cfg, g, pol, prof), "")
-	return plan, kind
+	e, kind := c.lookup(c.keyer.makeKey(cfg, g, pol, prof), "")
+	if e == nil {
+		return nil, kind
+	}
+	return e.plan, kind
 }
 
-func (c *Cache) lookup(k key, origin string) (*sched.Plan, HitKind, key) {
+func (c *Cache) lookup(k key, origin string) (*entry, HitKind) {
 	b := c.buckets[k.scope]
 	if b == nil {
 		c.misses++
-		return nil, Miss, k
+		return nil, Miss
 	}
 	if e, ok := b.byFP[k.fp]; ok {
 		c.exactHits++
 		if e.origin != origin {
 			c.sharedHits++
 		}
-		return e.plan, HitExact, k
+		return e, HitExact
 	}
 	if c.cfg.Nearest {
 		var best *entry
@@ -390,11 +393,11 @@ func (c *Cache) lookup(k key, origin string) (*sched.Plan, HitKind, key) {
 			if best.origin != origin {
 				c.sharedHits++
 			}
-			return best.plan, HitNearest, k
+			return best, HitNearest
 		}
 	}
 	c.misses++
-	return nil, Miss, k
+	return nil, Miss
 }
 
 // Put stores a plan under the given scheduler inputs (replacing any entry
@@ -485,8 +488,25 @@ func (c *Cache) GetOrScheduleFor(origin string, cfg hw.Config, g *graph.Graph, p
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := c.keyer.makeKey(cfg, g, pol, prof)
-	if plan, kind, _ := c.lookup(k, origin); kind != Miss {
-		return plan, kind, nil
+	if e, kind := c.lookup(k, origin); kind != Miss {
+		if origin != "" {
+			// Copy-on-hit for fleet origins: a *sched.Plan carries a
+			// plan-scoped eval memo that is deliberately not safe for
+			// concurrent use, so a replica must never run a plan object
+			// another replica may also be running. Cross-origin hits are the
+			// obvious case; self-hits need it too, because a PutFor refresh
+			// on an identical fingerprint swaps another replica's live plan
+			// into this origin's entry (identity, including origin, is kept
+			// on refresh). Cloning every fleet hit hands each replica a
+			// private object. The non-fleet paths (origin "" everywhere)
+			// keep the stored pointer, bit-for-bit what they were.
+			cp, err := e.plan.Clone(g)
+			if err != nil {
+				return nil, kind, fmt.Errorf("plancache: cloning shared plan: %w", err)
+			}
+			return cp, kind, nil
+		}
+		return e.plan, kind, nil
 	}
 	plan, err := sched.Schedule(cfg, g, pol, prof)
 	if err != nil {

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestPlanCloneIndependent pins the property the shared plan cache's
+// copy-on-hit relies on: a clone is observationally identical to the
+// original (byte-identical encoding, identical entity evaluations) while
+// sharing no mutable state — exercising the clone's eval memo must leave the
+// original's untouched.
+func TestPlanCloneIndependent(t *testing.T) {
+	cfg := hw.Default()
+	plan, w, _ := scheduleModel(t, "skipnet", Adyna(), 16)
+
+	h0, m0 := plan.CacheStats()
+	cp, err := plan.Clone(w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == plan {
+		t.Fatal("Clone returned the receiver")
+	}
+	var a, b bytes.Buffer
+	if err := plan.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("clone encodes differently from the original")
+	}
+
+	// Drive evaluations through the clone only: the original's memo must
+	// stay empty, proving the two plans share no cache.
+	for _, seg := range cp.Segments {
+		for _, op := range seg.Plans {
+			lead := w.Graph.Op(op.Lead)
+			if !lead.Dynamic || lead.Space[0] == 0 {
+				continue
+			}
+			for k := range op.Options {
+				if _, err := cp.EvaluateEntity(cfg, w.Graph, op, op.Options[k], lead.MaxUnits/2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if h, m := cp.CacheStats(); h+m == 0 {
+		t.Fatal("clone recorded no eval traffic")
+	}
+	if h, m := plan.CacheStats(); h != h0 || m != m0 {
+		t.Fatalf("original's memo touched through the clone: hits %d->%d misses %d->%d", h0, h, m0, m)
+	}
+}

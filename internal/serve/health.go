@@ -39,6 +39,13 @@ func (s *Server) applyFaults(now int64) error {
 		return nil
 	}
 	s.rep.FaultEvents++
+	// Capability changes apply between batches: the pipelined loop first
+	// retires its in-flight batches — they were submitted under the old
+	// capability and complete under it, exactly like the legacy loop's batch
+	// running across a fault boundary — before the hardware changes.
+	if err := s.drainInflight(false); err != nil {
+		return err
+	}
 	if err := s.setup.M.SetCapability(cap.Failed, cap.NoC, cap.HBM); err != nil {
 		return err
 	}

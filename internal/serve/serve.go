@@ -115,6 +115,22 @@ type Config struct {
 	// fleet): hits on entries another origin solved count in the cache's
 	// SharedHits statistic. Empty outside fleets.
 	PlanCacheOrigin string
+	// PlanCacheGate, when non-nil, is invoked once before every shared-plan-
+	// cache access made while the server is being stepped. A parallel fleet
+	// (sim.Cluster) installs the cluster's canonical-order gate here so that
+	// replica i's cache traffic waits for replicas 0..i-1 to finish the
+	// current window — reproducing exactly the cache visibility order of
+	// sequential replica stepping, which keeps parallel outcomes
+	// byte-identical to workers=1. Nil (every non-fleet path) is a no-op.
+	PlanCacheGate func()
+	// PipelineDepth enables batch-pipelined serving (see pipeline.go): up to
+	// this many batches execute concurrently on the machine, batch k+1's
+	// admission and formation overlapping batch k's compute in virtual time.
+	// Values <= 1 (the default) keep the legacy blocking loop, bit-for-bit.
+	// Pipelined serving is a semantic variant — batch start times and
+	// latencies differ from the legacy loop — with the same determinism
+	// guarantee: byte-identical outcomes at any GOMAXPROCS.
+	PipelineDepth int
 	// HostReschedCycles charges the host-side solve latency of a re-plan
 	// into virtual time (the machine idles while the scheduler runs). Cache
 	// hits skip the charge — that asymmetry is what lets cached serving
@@ -280,12 +296,13 @@ type Server struct {
 	cfg    Config
 	setup  *core.Setup
 	det    *detector
-	health *faults.State   // nil without a fault schedule
+	health *faults.State    // nil without a fault schedule
 	pcache *plancache.Cache // nil with the plan cache disabled
 
 	queue         []Request
 	queuedSamples int
-	pending       []Request // enqueued by a fleet router, not yet admitted
+	pending       []Request    // enqueued by a fleet router, not yet admitted
+	inflight      []*pipeEntry // submitted, unretired batches (pipelined mode only)
 	rep           *Report
 	sinceResched  int
 
@@ -453,6 +470,9 @@ func (s *Server) Finish() *Report {
 // step is the serving loop shared by StepTo (bounded by horizon) and Drain
 // (draining ignores the horizon: no more arrivals can ever be routed here).
 func (s *Server) step(horizon int64, draining bool) error {
+	if s.pipelined() {
+		return s.pipeStep(horizon, draining)
+	}
 	m := s.setup.M
 	for {
 		now := int64(m.Now())
@@ -575,6 +595,18 @@ func (s *Server) Keyer() *plancache.Keyer { return s.keyer }
 // replica fails: the backlog re-routes to survivors, with the queue time
 // already accrued charged into their eventual latency.
 func (s *Server) EvictQueued() []Request {
+	// Pipelined mode: batches already executing complete and record their
+	// outcomes first — eviction hands back the *backlog*, not work the
+	// machine (and profiler) has already absorbed. Should the stream stall
+	// (a machine deadlock), the affected requests can only be shed.
+	if err := s.drainInflight(false); err != nil {
+		for _, e := range s.inflight {
+			for _, req := range e.reqs {
+				s.rep.record(RequestResult{ID: req.ID, Arrival: req.Arrival, Outcome: Shed})
+			}
+		}
+		s.inflight = nil
+	}
 	out := make([]Request, 0, len(s.queue)+len(s.pending))
 	out = append(out, s.queue...)
 	out = append(out, s.pending...)
@@ -750,6 +782,12 @@ func (s *Server) maybeReschedule() error {
 // drift reference rebases on the profile the new plan was built from.
 // Returns the swap's reconfiguration cycles.
 func (s *Server) replan(track telemetry.TrackID, trackName string) (int64, error) {
+	// A plan swap needs a drained pipeline (LoadPlan's contract). The legacy
+	// loop satisfies this trivially; the pipelined loop retires its in-flight
+	// batches here, outcomes recorded in submission order.
+	if err := s.drainInflight(false); err != nil {
+		return 0, err
+	}
 	m := s.setup.M
 	g := s.setup.W.Graph
 	cfg := s.liveHW()
@@ -757,6 +795,11 @@ func (s *Server) replan(track telemetry.TrackID, trackName string) (int64, error
 	kind := plancache.Miss
 	var err error
 	if s.pcache != nil {
+		if gate := s.cfg.PlanCacheGate; gate != nil {
+			// Parallel fleet windows: wait for canonically-earlier replicas
+			// before touching the shared cache (see Config.PlanCacheGate).
+			gate()
+		}
 		plan, kind, err = s.pcache.GetOrScheduleFor(s.cfg.PlanCacheOrigin, cfg, g, s.setup.Policy, m.Profiler())
 	} else {
 		plan, err = sched.Schedule(cfg, g, s.setup.Policy, m.Profiler())

@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stepper is one shard (domain) of a Cluster: a sequential sub-simulation
+// that can report its earliest pending event and advance its local clock to
+// a horizon. *Env implements Stepper; higher layers (a serving replica, a
+// tenant machine) implement it over their own event loops.
+type Stepper interface {
+	// NextEvent returns the timestamp of the domain's earliest pending
+	// local event; ok is false when the domain is idle.
+	NextEvent() (t Time, ok bool)
+	// StepTo advances the domain, executing every local event with
+	// timestamp strictly before horizon. Events at or after the horizon
+	// stay pending. The domain's clock ends at the horizon (or past it,
+	// if an executed event legitimately overshoots, e.g. a batch that
+	// completes across the barrier).
+	StepTo(horizon Time) error
+}
+
+// NextEvent returns the earliest pending event's timestamp, implementing
+// Stepper for the engine itself.
+func (e *Env) NextEvent() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// StepTo processes every pending event with a timestamp strictly before
+// horizon and then sets the clock to horizon. Unlike RunUntil, events AT the
+// horizon stay pending: a Cluster window ending at the barrier W must leave
+// W itself untouched, because a cross-domain event may still be merged in at
+// exactly W.
+func (e *Env) StepTo(horizon Time) error {
+	for len(e.queue) > 0 && e.queue[0].at < horizon {
+		e.step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// DomainID names a domain within its Cluster (its canonical index).
+type DomainID int
+
+// clusterDomain is a Cluster's bookkeeping for one shard.
+type clusterDomain struct {
+	name string
+	step Stepper
+	env  *Env // non-nil for Env-backed domains: the only Post targets
+}
+
+// post is one cross-domain event waiting for a window barrier.
+type post struct {
+	at       Time
+	src, dst DomainID
+	seq      int64
+	fn       func()
+}
+
+// Cluster is a conservative parallel discrete-event coordinator: the event
+// population is sharded into per-domain queues (each domain a sequential
+// Stepper with its own heap), domains advance concurrently inside lookahead
+// windows, and cross-domain events merge deterministically at window
+// barriers.
+//
+// The determinism contract: each domain's internal execution order is its
+// own sequential (at, seq) order, untouched by the cluster; cross-domain
+// events are delivered at barriers in (at, src, post-seq) order. Results are
+// therefore byte-identical for any worker count and any GOMAXPROCS — the
+// worker pool only changes which OS thread executes a domain's window, never
+// the order of events inside it or across it.
+//
+// The window invariant (fuzzed by FuzzLookaheadWindows): a cross-domain
+// event posted during the window ending at barrier W is delivered at a
+// timestamp >= W. Conservative lookahead makes that hold by construction —
+// the window width is the minimum declared cross-domain latency, so an
+// event executing at t >= windowStart posts no earlier than windowStart +
+// lookahead = W — and Post enforces it with a panic, so an undeclared
+// too-short latency fails loudly instead of corrupting the timeline.
+type Cluster struct {
+	workers int
+	domains []clusterDomain
+	// minLat[src][dst] is the declared minimum latency of src->dst events;
+	// 0 means "no link declared" and falls back to defaultLat.
+	minLat     map[DomainID]map[DomainID]Time
+	defaultLat Time
+
+	barrier Time // last committed window barrier
+
+	// postMu guards the mailbox: several domains may Post concurrently from
+	// inside one window. The global postSeq values therefore depend on the
+	// interleaving, but the merge order does not — deliver sorts by
+	// (at, src, seq) and seq only breaks ties within a single src domain,
+	// whose posts are sequential, so their relative seq order is invariant.
+	postMu  sync.Mutex
+	mailbox []post // cross-domain events not yet delivered
+	postSeq int64
+
+	// windowDone holds one channel per domain, re-armed every window;
+	// closing it marks the domain's window complete. Gate callbacks wait on
+	// the predecessors' channels to serialize shared host-side state in
+	// canonical domain order.
+	windowDone []chan struct{}
+	stepErrs   []error // per-domain error of the current window
+}
+
+// NewCluster returns an empty cluster advancing domains on the given number
+// of concurrent workers. Workers <= 1 selects the sequential path: domains
+// advance one after another in canonical order on the calling goroutine,
+// with zero synchronization overhead — the degenerate single-shard
+// configuration the equivalence wall pins against.
+func NewCluster(workers int) *Cluster {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Cluster{
+		workers:    workers,
+		minLat:     map[DomainID]map[DomainID]Time{},
+		defaultLat: Forever,
+	}
+}
+
+// Workers returns the configured worker count.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Add registers a Stepper-backed domain and returns its ID. Domains are
+// canonically ordered by registration; register them in a sorted, input-
+// independent order so bring-up order cannot leak into results.
+func (c *Cluster) Add(name string, s Stepper) DomainID {
+	id := DomainID(len(c.domains))
+	env, _ := s.(*Env)
+	c.domains = append(c.domains, clusterDomain{name: name, step: s, env: env})
+	c.stepErrs = append(c.stepErrs, nil)
+	c.windowDone = append(c.windowDone, nil)
+	return id
+}
+
+// AddEnv registers an Env-backed domain: the engine's own event heap is the
+// domain's shard, and the domain may receive Post events.
+func (c *Cluster) AddEnv(name string, env *Env) DomainID { return c.Add(name, env) }
+
+// Len returns the number of registered domains.
+func (c *Cluster) Len() int { return len(c.domains) }
+
+// Name returns a domain's registered name.
+func (c *Cluster) Name(d DomainID) string { return c.domains[d].name }
+
+// SetLookahead declares the default minimum cross-domain latency: any event
+// one domain causes in another is at least this far in the future. It is the
+// cluster's window width — 0 (or negative) collapses every window to a
+// single pending timestamp, which is the conservative fallback when domains
+// are synchronously coupled (see accel.Partition: a transaction-level HBM
+// booking has zero latency, so a machine's tile/NoC/HBM shards degenerate to
+// one domain).
+func (c *Cluster) SetLookahead(l Time) {
+	if l < 0 {
+		l = 0
+	}
+	c.defaultLat = l
+}
+
+// Link declares the minimum latency of src->dst cross-domain events,
+// overriding the default lookahead for that pair. The per-domain safe
+// horizon uses the tightest incoming link.
+func (c *Cluster) Link(src, dst DomainID, minLatency Time) {
+	if minLatency < 0 {
+		minLatency = 0
+	}
+	m := c.minLat[src]
+	if m == nil {
+		m = map[DomainID]Time{}
+		c.minLat[src] = m
+	}
+	m[dst] = minLatency
+}
+
+// latency returns the declared src->dst minimum latency.
+func (c *Cluster) latency(src, dst DomainID) Time {
+	if m := c.minLat[src]; m != nil {
+		if l, ok := m[dst]; ok {
+			return l
+		}
+	}
+	return c.defaultLat
+}
+
+// Post schedules fn to run in the dst domain after delay cycles of the src
+// domain's current clock (which must be an Env-backed domain mid-window, or
+// the cluster's barrier between windows). The delay must be at least the
+// declared src->dst latency: conservative synchronization depends on it.
+// Delivery happens at the next window barrier whose time covers the event —
+// never before the barrier the destination has already advanced to.
+func (c *Cluster) Post(src, dst DomainID, delay Time, fn func()) {
+	d := c.domains[dst]
+	if d.env == nil {
+		panic(fmt.Sprintf("sim: Post into non-Env domain %q", d.name))
+	}
+	now := c.barrier
+	if s := c.domains[src]; s.env != nil && s.env.Now() > now {
+		now = s.env.Now()
+	}
+	if l := c.latency(src, dst); delay < l {
+		panic(fmt.Sprintf("sim: Post %s->%s delay %d below declared min latency %d",
+			c.domains[src].name, d.name, delay, l))
+	}
+	at := now + delay
+	if at < c.barrier {
+		panic(fmt.Sprintf("sim: Post %s->%s at %d before window barrier %d",
+			c.domains[src].name, d.name, at, c.barrier))
+	}
+	c.postMu.Lock()
+	c.postSeq++
+	c.mailbox = append(c.mailbox, post{at: at, src: src, dst: dst, seq: c.postSeq, fn: fn})
+	c.postMu.Unlock()
+}
+
+// Gate returns a callback that serializes shared host-side state across the
+// current window in canonical domain order: when domain d's step invokes the
+// gate, it blocks until every domain before d has finished its window. The
+// result is exactly the visibility order of a sequential one-domain-at-a-time
+// sweep — a domain's shared-state reads see all predecessors' writes of this
+// window and none of its successors' — at the price of serializing only the
+// (rare) windows in which several domains actually touch shared state.
+// Outside a window the gate is a no-op.
+func (c *Cluster) Gate(d DomainID) func() {
+	return func() {
+		done := c.windowDone // the slice header is re-written only between windows
+		for i := DomainID(0); i < d; i++ {
+			if ch := done[i]; ch != nil {
+				<-ch
+			}
+		}
+	}
+}
+
+// next returns the earliest pending timestamp across every domain shard and
+// the mailbox; ok is false when the whole cluster is idle.
+func (c *Cluster) next() (Time, bool) {
+	var t Time
+	ok := false
+	for i := range c.domains {
+		if et, has := c.domains[i].step.NextEvent(); has && (!ok || et < t) {
+			t, ok = et, true
+		}
+	}
+	for i := range c.mailbox {
+		if p := c.mailbox[i]; !ok || p.at < t {
+			t, ok = p.at, true
+		}
+	}
+	return t, ok
+}
+
+// lookahead returns the cluster-wide window width: the tightest declared
+// cross-domain latency (links override the default). With a single domain
+// there is no cross-domain event to fear and the window is unbounded.
+func (c *Cluster) lookahead() Time {
+	if len(c.domains) <= 1 {
+		return Forever
+	}
+	l := c.defaultLat
+	for _, m := range c.minLat {
+		for _, v := range m {
+			if v < l {
+				l = v
+			}
+		}
+	}
+	return l
+}
+
+// deliver merges every mailbox event with at < horizon into its destination
+// shard, in (at, src, seq) order — the cluster's canonical cross-domain
+// tie-break. Called between windows only (single-threaded).
+func (c *Cluster) deliver(horizon Time) {
+	if len(c.mailbox) == 0 {
+		return
+	}
+	sort.SliceStable(c.mailbox, func(i, j int) bool {
+		a, b := c.mailbox[i], c.mailbox[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	kept := c.mailbox[:0]
+	for _, p := range c.mailbox {
+		if p.at >= horizon {
+			kept = append(kept, p)
+			continue
+		}
+		env := c.domains[p.dst].env
+		if p.at < env.Now() {
+			// The conservative invariant was violated: the destination
+			// already advanced past the event. Post's latency check makes
+			// this unreachable; keep the loud failure for the fuzzer.
+			panic(fmt.Sprintf("sim: delivery into %q at %d after its clock %d",
+				c.domains[p.dst].name, p.at, env.Now()))
+		}
+		env.At(p.at, p.fn)
+	}
+	c.mailbox = append([]post(nil), kept...)
+	if len(c.mailbox) == 0 {
+		c.mailbox = nil
+	}
+}
+
+// Advance runs conservative windows until every shard and the mailbox are
+// drained strictly before the horizon, then steps every domain to the
+// horizon exactly — on return each domain's clock is at (or, if an executed
+// event legitimately overran, past) the horizon, and no event before it
+// remains. The first error, by canonical domain order, aborts the run.
+// Events at the horizon itself stay pending: a later window may still merge
+// cross-domain events at exactly that timestamp ahead of nothing.
+func (c *Cluster) Advance(horizon Time) error {
+	for {
+		t, ok := c.next()
+		if !ok || t >= horizon {
+			break
+		}
+		w := horizon
+		if la := c.lookahead(); la < Forever-t && t+la < horizon {
+			w = t + la
+		}
+		if w <= t {
+			// Zero lookahead: the conservative window degenerates to the
+			// single earliest timestamp, processed with a barrier after it.
+			w = t + 1
+		}
+		c.deliver(w)
+		if err := c.window(w); err != nil {
+			return err
+		}
+		c.barrier = w
+	}
+	if c.barrier < horizon && horizon < Forever {
+		c.deliver(horizon)
+		if err := c.window(horizon); err != nil {
+			return err
+		}
+		c.barrier = horizon
+	}
+	return nil
+}
+
+// window advances every domain to the barrier w, concurrently when workers
+// allow, and collects per-domain errors. The first error in canonical order
+// wins, so error identity is as deterministic as the results.
+//
+// Workers claim domains in ascending canonical order (a shared cursor, not
+// a fixed partition): combined with Gate's wait-on-predecessors rule this
+// is deadlock-free — when a claimed domain blocks in a gate, every domain
+// it waits on has already been claimed, and the smallest unfinished domain
+// never blocks.
+func (c *Cluster) window(w Time) error {
+	n := len(c.domains)
+	if c.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			// Sequential windows leave windowDone nil: Gate skips nil
+			// entries, matching the in-order execution.
+			c.windowDone[i] = nil
+		}
+		for i := 0; i < n; i++ {
+			if err := c.domains[i].step.StepTo(w); err != nil {
+				return fmt.Errorf("sim: domain %s: %w", c.domains[i].name, err)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		c.windowDone[i] = make(chan struct{})
+		c.stepErrs[i] = nil
+	}
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= n {
+					return
+				}
+				c.stepErrs[i] = c.domains[i].step.StepTo(w)
+				close(c.windowDone[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if err := c.stepErrs[i]; err != nil {
+			return fmt.Errorf("sim: domain %s: %w", c.domains[i].name, err)
+		}
+	}
+	return nil
+}
+
+// Step runs one explicit window: pending cross-domain events strictly
+// before w are delivered, then every domain's StepTo(w) runs — concurrently
+// under the usual worker pool and Gate discipline — and the barrier commits
+// at w. Unlike Advance it always runs the window, even when w equals the
+// current barrier: drivers whose domains advance on externally computed
+// horizons (the fleet router stepping replicas to each routing event) rely
+// on repeated same-time windows behaving exactly like repeated sequential
+// StepTo calls. A w below the current barrier is clamped to it.
+func (c *Cluster) Step(w Time) error {
+	if w < c.barrier {
+		w = c.barrier
+	}
+	c.deliver(w)
+	if err := c.window(w); err != nil {
+		return err
+	}
+	c.barrier = w
+	return nil
+}
+
+// Run drains the cluster completely: windows advance until no domain holds
+// a pending event and the mailbox is empty. It returns the final barrier
+// time, which may exceed the last event's timestamp by up to one window.
+func (c *Cluster) Run() (Time, error) {
+	for {
+		t, ok := c.next()
+		if !ok {
+			return c.barrier, nil
+		}
+		la := c.lookahead()
+		if la >= Forever-t {
+			la = 1 << 40
+		}
+		if la <= 0 {
+			// Zero lookahead: Advance degenerates to one-timestamp windows;
+			// the outer horizon just has to make progress.
+			la = 1
+		}
+		if err := c.Advance(t + la); err != nil {
+			return c.barrier, err
+		}
+	}
+}
+
+// Barrier returns the last committed window barrier.
+func (c *Cluster) Barrier() Time { return c.barrier }

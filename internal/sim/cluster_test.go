@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// chainScenario builds a cluster of n Env domains passing messages in a ring:
+// each domain, on receiving a token at time t, appends a record to the shared
+// log (via its gate, so log order is canonical) and posts the token onward
+// with the declared latency. Returns the log after a full Run.
+func chainScenario(t *testing.T, workers, n int, lookahead Time, hops int) []string {
+	t.Helper()
+	c := NewCluster(workers)
+	envs := make([]*Env, n)
+	ids := make([]DomainID, n)
+	for i := 0; i < n; i++ {
+		envs[i] = NewEnv()
+		ids[i] = c.AddEnv(fmt.Sprintf("d%d", i), envs[i])
+	}
+	c.SetLookahead(lookahead)
+	var log []string
+	var record func(d int, hop int)
+	record = func(d, hop int) {
+		gate := c.Gate(ids[d])
+		envs[d].Schedule(0, func() {
+			gate()
+			log = append(log, fmt.Sprintf("hop=%d domain=%d at=%d", hop, d, envs[d].Now()))
+			if hop >= hops {
+				return
+			}
+			next := (d + 1) % n
+			delay := lookahead
+			if delay <= 0 {
+				delay = 1
+			}
+			c.Post(ids[d], ids[next], delay, func() { record(next, hop+1) })
+		})
+	}
+	// Seed every domain with local work plus one token in domain 0.
+	for i := 0; i < n; i++ {
+		d := i
+		envs[i].Schedule(Time(3+i), func() {
+			gate := c.Gate(ids[d])
+			gate()
+			log = append(log, fmt.Sprintf("local domain=%d at=%d", d, envs[d].Now()))
+		})
+	}
+	envs[0].Schedule(1, func() { record(0, 1) })
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return log
+}
+
+func TestClusterWorkerCountInvariance(t *testing.T) {
+	for _, la := range []Time{0, 1, 5, 40} {
+		ref := chainScenario(t, 1, 4, la, 12)
+		if len(ref) == 0 {
+			t.Fatalf("lookahead %d: empty log", la)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got := chainScenario(t, workers, 4, la, 12)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("lookahead %d: workers=%d log diverged\nseq: %v\npar: %v",
+					la, workers, ref, got)
+			}
+		}
+	}
+}
+
+func TestClusterMergeOrderDeterministic(t *testing.T) {
+	// Multiple domains post into one destination at the same timestamp; the
+	// merge must order them by (at, src, seq) regardless of worker count.
+	run := func(workers int) []string {
+		c := NewCluster(workers)
+		n := 5
+		envs := make([]*Env, n)
+		ids := make([]DomainID, n)
+		for i := 0; i < n; i++ {
+			envs[i] = NewEnv()
+			ids[i] = c.AddEnv(fmt.Sprintf("d%d", i), envs[i])
+		}
+		c.SetLookahead(10)
+		var log []string
+		for i := 1; i < n; i++ {
+			src := i
+			envs[i].Schedule(Time(src), func() {
+				// All arrive in d0 at src+10 .. collapse two of them to the
+				// same arrival time to exercise the src tie-break.
+				delay := Time(10 + (n - src))
+				c.Post(ids[src], ids[0], delay, func() {
+					log = append(log, fmt.Sprintf("from=%d at=%d", src, envs[0].Now()))
+				})
+			})
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	ref := run(1)
+	if len(ref) != 4 {
+		t.Fatalf("expected 4 deliveries, got %v", ref)
+	}
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d merge order diverged\nseq: %v\npar: %v", w, ref, got)
+		}
+	}
+}
+
+func TestClusterAdvanceHorizon(t *testing.T) {
+	c := NewCluster(2)
+	e0, e1 := NewEnv(), NewEnv()
+	c.AddEnv("a", e0)
+	c.AddEnv("b", e1)
+	c.SetLookahead(4)
+	var fired []Time
+	e0.Schedule(5, func() { fired = append(fired, e0.Now()) })
+	e1.Schedule(20, func() { fired = append(fired, e1.Now()) })
+	if err := c.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("after Advance(10): fired=%v", fired)
+	}
+	if e0.Now() != 10 || e1.Now() != 10 {
+		t.Fatalf("clocks not at horizon: %d %d", e0.Now(), e1.Now())
+	}
+	if c.Barrier() != 10 {
+		t.Fatalf("barrier=%d", c.Barrier())
+	}
+	// An event AT the horizon must stay pending.
+	e0.Schedule(0, func() { fired = append(fired, e0.Now()) }) // at=10
+	if err := c.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("event at horizon fired early: %v", fired)
+	}
+	if err := c.Advance(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[1] != 10 || fired[2] != 20 {
+		t.Fatalf("after Advance(25): fired=%v", fired)
+	}
+}
+
+func TestClusterPostLatencyPanics(t *testing.T) {
+	c := NewCluster(1)
+	e0, e1 := NewEnv(), NewEnv()
+	a := c.AddEnv("a", e0)
+	b := c.AddEnv("b", e1)
+	c.Link(a, b, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post below declared min latency did not panic")
+		}
+	}()
+	c.Post(a, b, 3, func() {})
+}
+
+func TestClusterPostNonEnvPanics(t *testing.T) {
+	c := NewCluster(1)
+	e0 := NewEnv()
+	a := c.AddEnv("a", e0)
+	b := c.Add("opaque", opaqueStepper{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post into non-Env domain did not panic")
+		}
+	}()
+	c.Post(a, b, 100, func() {})
+}
+
+type opaqueStepper struct{}
+
+func (opaqueStepper) NextEvent() (Time, bool) { return 0, false }
+func (opaqueStepper) StepTo(Time) error       { return nil }
+
+func TestClusterSingleDomainMatchesEnvRun(t *testing.T) {
+	// One domain: the cluster must behave exactly like the sequential engine.
+	build := func(e *Env, log *[]Time) {
+		for _, d := range []Time{7, 3, 3, 11} {
+			at := d
+			e.Schedule(at, func() { *log = append(*log, e.Now()) })
+		}
+	}
+	eSeq := NewEnv()
+	var seq []Time
+	build(eSeq, &seq)
+	eSeq.Run()
+
+	ePar := NewEnv()
+	var par []Time
+	build(ePar, &par)
+	c := NewCluster(8)
+	c.AddEnv("only", ePar)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("single-domain divergence: seq=%v par=%v", seq, par)
+	}
+}
+
+func TestClusterErrorCanonicalOrder(t *testing.T) {
+	// Two failing domains: the reported error must be the canonically first
+	// one, for every worker count.
+	for _, workers := range []int{1, 4} {
+		c := NewCluster(workers)
+		c.Add("a", failingStepper{name: "a"})
+		c.Add("b", failingStepper{name: "b"})
+		err := c.Advance(10)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if want := `sim: domain a: boom a`; err.Error() != want {
+			t.Fatalf("workers=%d: got %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+type failingStepper struct{ name string }
+
+func (f failingStepper) NextEvent() (Time, bool) { return 1, true }
+func (f failingStepper) StepTo(Time) error       { return fmt.Errorf("boom %s", f.name) }

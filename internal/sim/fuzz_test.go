@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// FuzzLookaheadWindows fuzzes domain partitions and min-latency declarations
+// against the conservative invariants:
+//
+//  1. no cross-domain event is delivered before the window barrier the
+//     destination has already advanced to (deliver panics if violated);
+//  2. the observable execution log is byte-identical for 1 and 4 workers,
+//     i.e. the parallel window schedule never changes results.
+//
+// The script bytes drive scenario construction: each 3-byte record seeds one
+// event (src domain, fire time, hop budget) that relays a token across
+// domains using the declared minimum latencies.
+func FuzzLookaheadWindows(f *testing.F) {
+	f.Add(uint8(2), uint8(3), []byte{0, 1, 2})
+	f.Add(uint8(4), uint8(0), []byte{1, 7, 3, 2, 9, 5})
+	f.Add(uint8(6), uint8(12), []byte{5, 0, 9, 0, 0, 1, 3, 3, 3})
+	f.Add(uint8(3), uint8(1), []byte{2, 2, 2, 1, 1, 1, 0, 0, 0, 2, 250, 7})
+	f.Add(uint8(8), uint8(40), []byte{7, 130, 6, 3, 66, 4})
+	f.Fuzz(func(t *testing.T, nd uint8, la uint8, script []byte) {
+		n := int(nd%7) + 2 // 2..8 domains
+		if len(script) > 96 {
+			script = script[:96]
+		}
+		run := func(workers int) []string {
+			c := NewCluster(workers)
+			envs := make([]*Env, n)
+			ids := make([]DomainID, n)
+			for i := 0; i < n; i++ {
+				envs[i] = NewEnv()
+				ids[i] = c.AddEnv(fmt.Sprintf("d%d", i), envs[i])
+			}
+			c.SetLookahead(Time(la))
+			// Per-pair overrides derived from the script so the tightest
+			// window is script-controlled, not uniform.
+			for i := 0; i+1 < len(script) && i < 2*n; i += 2 {
+				src := DomainID(int(script[i]) % n)
+				dst := DomainID(int(script[i+1]) % n)
+				if src != dst {
+					c.Link(src, dst, Time(la)+Time(script[i]%5))
+				}
+			}
+			var log []string
+			var relay func(d, hop int)
+			relay = func(d, hop int) {
+				gate := c.Gate(ids[d])
+				gate()
+				log = append(log, fmt.Sprintf("d=%d hop=%d at=%d", d, hop, envs[d].Now()))
+				if hop <= 0 {
+					return
+				}
+				next := (d + 1) % n
+				delay := c.latency(ids[d], ids[next])
+				if delay >= Forever {
+					delay = Time(la)
+				}
+				if delay <= 0 {
+					delay = 1
+				}
+				c.Post(ids[d], ids[next], delay, func() { relay(next, hop-1) })
+			}
+			for i := 0; i+2 < len(script); i += 3 {
+				src := int(script[i]) % n
+				at := Time(script[i+1])
+				hops := int(script[i+2] % 9)
+				s, h := src, hops
+				envs[src].At(at, func() { relay(s, h) })
+			}
+			if _, err := c.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			return log
+		}
+		seq := run(1)
+		par := run(4)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("worker-count divergence\nseq: %v\npar: %v", seq, par)
+		}
+	})
+}

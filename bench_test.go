@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -305,6 +306,38 @@ func BenchmarkPlanCacheLookup(b *testing.B) {
 		plan, kind, err := c.GetOrSchedule(cfg, w.Graph, sched.Adyna(), prof)
 		if err != nil || kind != plancache.HitExact || plan == nil {
 			b.Fatalf("warm lookup: kind=%v err=%v", kind, err)
+		}
+	}
+}
+
+// BenchmarkDensityEvaluate measures the per-batch cost of density-aware
+// entity evaluation on the serving hot path: a warm costmodel cache queried
+// at a rotating set of densities for one of the GNN's sparse aggregation
+// operators. After the first lap every density bucket is memoized, so this
+// is the steady-state price each density-carrying batch pays at dispatch.
+func BenchmarkDensityEvaluate(b *testing.B) {
+	cfg := hw.Default()
+	w, err := models.ByName("gcn", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dops := w.Graph.DensityOps()
+	if len(dops) == 0 {
+		b.Fatal("gcn has no density-aware operators")
+	}
+	op := w.Graph.Op(dops[0])
+	blk, _, err := costmodel.Optimize(cfg, op, op.MaxUnits, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := costmodel.NewCache(cfg)
+	densities := []float64{1, 0.75, 0.5, 0.3, 0.21}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := densities[i%len(densities)]
+		if _, err := c.EvaluateDensity(op, blk, op.MaxUnits, op.MaxUnits/2, 8, true, d); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -34,11 +34,12 @@ func main() {
 		list    = flag.Bool("list", false, "list workloads and designs, then exit")
 		chipmap = flag.Bool("map", false, "print the scheduled chip map for each segment and exit")
 		roof    = flag.Bool("roofline", false, "print the model's roofline analysis and exit")
+		density = flag.Float64("density", 0, "fixed density dyn-value in (0,1] for every batch (density-aware models; 0 = model default)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("workloads:", strings.Join(models.Names(), ", "), "(plus: adavit)")
+		fmt.Println("workloads:", strings.Join(models.Names(), ", "), "(plus: adavit, ranet, gcn)")
 		fmt.Println("designs:   gpu, mtile, mtenant, static, full, adyna, realtime")
 		return
 	}
@@ -52,6 +53,20 @@ func main() {
 	rc.Batch = *batch
 	rc.Batches = *batches
 	rc.Seed = *seed
+	if *density != 0 {
+		if *density <= 0 || *density > 1 {
+			fmt.Fprintf(os.Stderr, "adyna: -density %v outside (0,1]\n", *density)
+			os.Exit(1)
+		}
+		dens := []float64{*density}
+		rc.WrapGen = func(g workload.TraceGen) workload.TraceGen {
+			fd, err := workload.NewFixedDensities(g, dens)
+			if err != nil {
+				return g // unreachable: the value was validated above
+			}
+			return fd
+		}
+	}
 
 	if *chipmap {
 		if err := printChipMap(*model, rc); err != nil {
@@ -61,7 +76,7 @@ func main() {
 		return
 	}
 	if *roof {
-		if err := printRoofline(*model, rc); err != nil {
+		if err := printRoofline(*model, rc, *density); err != nil {
 			fmt.Fprintln(os.Stderr, "adyna:", err)
 			os.Exit(1)
 		}
@@ -109,6 +124,9 @@ func batchLatencies(d core.Design, model string, rc core.RunConfig) []float64 {
 	if err != nil {
 		return nil
 	}
+	if rc.WrapGen != nil {
+		w.Gen = rc.WrapGen(w.Gen)
+	}
 	m, err := accel.New(rc.HW, w.Graph, accel.Options{})
 	if err != nil {
 		return nil
@@ -146,6 +164,9 @@ func printChipMap(model string, rc core.RunConfig) error {
 	if err != nil {
 		return err
 	}
+	if rc.WrapGen != nil {
+		w.Gen = rc.WrapGen(w.Gen)
+	}
 	m, err := accel.New(rc.HW, w.Graph, accel.Options{})
 	if err != nil {
 		return err
@@ -156,7 +177,7 @@ func printChipMap(model string, rc core.RunConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
+		if err := m.Profiler().ObserveBatchDensity(units, b.Routing, b.Density); err != nil {
 			return err
 		}
 	}
@@ -175,16 +196,24 @@ func printChipMap(model string, rc core.RunConfig) error {
 }
 
 // printRoofline classifies every compute operator of the model as compute-
-// or memory-bound at the worst-case dyn values.
-func printRoofline(model string, rc core.RunConfig) error {
+// or memory-bound at the worst-case dyn values; a density in (0,1) rescales
+// density-aware operators (sparse compute shrinks, dense outputs and weights
+// stay), shifting them toward the memory-bound side of the ridge.
+func printRoofline(model string, rc core.RunConfig, density float64) error {
 	w, err := models.ByName(model, rc.Batch)
 	if err != nil {
 		return err
 	}
 	as := costmodel.Roofline(rc.HW, w.Graph, nil)
+	if density > 0 && density < 1 {
+		as = costmodel.DensityRoofline(rc.HW, w.Graph, nil, density)
+	}
 	share, total := costmodel.RooflineSummary(as)
 	fmt.Printf("%s roofline at batch %d (ridge point %.0f FLOP/byte):\n",
 		w.Name, rc.Batch, costmodel.RidgePoint(rc.HW))
+	if density > 0 && density < 1 {
+		fmt.Printf("density-aware operators rescaled to density %.2f\n", density)
+	}
 	fmt.Printf("%-18s %12s %12s %12s %s\n", "operator", "GFLOPs", "MBytes", "FLOP/byte", "bound")
 	for _, a := range as {
 		if a.FLOPs < total/200 {

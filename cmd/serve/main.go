@@ -122,6 +122,9 @@ func main() {
 		fleetCls = flag.Int("fleet-classes", 3, "traffic classes in the fleet's drifting arrival mix")
 		fleetMin = flag.Int("fleet-min", 0, "elastic scaling: start with this many active replicas (0 = all, no scaling)")
 		fleetSD  = flag.Float64("fleet-walk", 0.1, "per-request random-walk std-dev of the fleet's class mixture weights")
+		densWalk = flag.Float64("denswalk", 0, "override the model's density source: per-batch std-dev of a density random walk (density-aware models, 0 = model default)")
+		densCtr  = flag.Float64("denscenter", 0.5, "starting density of the -denswalk walk, in (0,1]")
+		densTr   = flag.String("densities", "", "explicit per-batch density trace, e.g. '0.9x40,0.2x40' (cycled; overrides -denswalk)")
 		compare  = flag.Bool("compare", false, "run twice (rescheduling on and off) and report both")
 		traceOut = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
 		statsOut = flag.String("stats-json", "", "write the final counters/gauges snapshot as JSON to this file ('-' for stdout)")
@@ -129,6 +132,11 @@ func main() {
 	flag.Parse()
 
 	d, err := core.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	wrapGen, err := densityWrap(*densTr, *densWalk, *densCtr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -171,6 +179,7 @@ func main() {
 		mcfg.RC.Batch = *maxBatch
 		mcfg.RC.Warmup = *warmup
 		mcfg.RC.Seed = *seed
+		mcfg.RC.WrapGen = wrapGen
 		if *faultArg != "" {
 			fs, err := loadFaults(*faultArg)
 			if err != nil {
@@ -224,6 +233,7 @@ func main() {
 	cfg.RC.Batch = *maxBatch
 	cfg.RC.Warmup = *warmup
 	cfg.RC.Seed = *seed
+	cfg.RC.WrapGen = wrapGen
 
 	if *faultArg != "" {
 		fs, err := loadFaults(*faultArg)
@@ -323,6 +333,36 @@ func loadFaults(arg string) (*faults.Schedule, error) {
 		return nil, fmt.Errorf("fault schedule file %q not readable", arg)
 	}
 	return faults.ParseSpec(arg)
+}
+
+// densityWrap translates the density flags into the core.RunConfig generator
+// hook: an explicit trace (-densities) wins over a walk (-denswalk); with
+// neither set the model keeps its own density behaviour (nil hook). The hook
+// builds a fresh wrapper per bring-up, so compare runs and multi-tenant
+// bring-ups never share walk state.
+func densityWrap(trace string, walkSD, center float64) (func(workload.TraceGen) workload.TraceGen, error) {
+	if trace != "" {
+		ds, err := workload.ParseDensityTrace(trace)
+		if err != nil {
+			return nil, err
+		}
+		return func(g workload.TraceGen) workload.TraceGen {
+			fd, err := workload.NewFixedDensities(g, ds)
+			if err != nil {
+				return g // unreachable: the trace was validated by the parser
+			}
+			return fd
+		}, nil
+	}
+	if walkSD > 0 {
+		if center <= 0 || center > 1 {
+			return nil, fmt.Errorf("density center %v outside (0,1]", center)
+		}
+		return func(g workload.TraceGen) workload.TraceGen {
+			return workload.NewDensityWalk(g, center, 0, 1, walkSD)
+		}, nil
+	}
+	return nil, nil
 }
 
 // newSource builds the request stream; arrivals use their own deterministic

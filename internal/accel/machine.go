@@ -13,6 +13,7 @@ package accel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/costmodel"
 	"repro/internal/graph"
@@ -395,20 +396,19 @@ func (m *Machine) Run(batches []workload.Batch) error {
 	// hardware profiler is insensitive to the segment-major execution
 	// order).
 	unitsPer := make([]map[graph.OpID]int, len(batches))
+	densPer := make([]float64, len(batches))
 	for i, b := range batches {
 		units, err := m.g.AssignUnits(b.Units, b.Routing)
 		if err != nil {
 			return err
 		}
-		if err := m.prof.ObserveBatch(units, b.Routing); err != nil {
+		if err := m.prof.ObserveBatchDensity(units, b.Routing, b.Density); err != nil {
 			return err
 		}
 		unitsPer[i] = units
+		densPer[i] = b.Density
 		m.stats.Batches++
-		for _, id := range m.computeOps {
-			op := m.g.Op(id)
-			m.stats.UsefulMACs += op.MACsPerUnit * int64(units[id])
-		}
+		m.accountUsefulMACs(units, b.Density)
 	}
 	var runErr error
 	windowStart := m.env.Now()
@@ -425,7 +425,7 @@ func (m *Machine) Run(batches []workload.Batch) error {
 			}
 			notBefore := p.Now()
 			for i := range batches {
-				j, err := m.prepareJob(seg, unitsPer[i])
+				j, err := m.prepareJob(seg, unitsPer[i], densPer[i])
 				if err != nil {
 					if runErr == nil {
 						runErr = err
@@ -469,6 +469,21 @@ func (m *Machine) Run(batches []workload.Batch) error {
 	return runErr
 }
 
+// accountUsefulMACs adds one batch's strictly required MACs to the stats:
+// density-aware operators only need the (quantized) density-scaled share of
+// their dense work, everything else needs all of it.
+func (m *Machine) accountUsefulMACs(units map[graph.OpID]int, density float64) {
+	d := costmodel.QuantizeDensity(density)
+	for _, id := range m.computeOps {
+		op := m.g.Op(id)
+		macs := op.MACsPerUnit * int64(units[id])
+		if op.DensityAware && d < 1 {
+			macs = int64(math.Ceil(d * float64(macs)))
+		}
+		m.stats.UsefulMACs += macs
+	}
+}
+
 // effUnits is the effective dyn value an entity pays for: without runtime
 // fitting the hardware pays the padded worst case in both compute and data
 // movement.
@@ -485,7 +500,7 @@ func (m *Machine) effUnits(units map[graph.OpID]int, id graph.OpID) int {
 // entities and edges are laid out in two contiguous per-job arrays, and the
 // lookup tables it needs only transiently come from the machine's reusable
 // scratch maps.
-func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job, error) {
+func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int, density float64) (*job, error) {
 	d := m.dags[seg.Index]
 	j := &job{seg: seg, done: sim.NewSignal(m.env)}
 	ents := m.entsBuf
@@ -503,11 +518,11 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 		partner := seg.Plans[op.Partner]
 		best, bestScore := 0, int64(-1)
 		for k := range op.Options {
-			ea, err := m.plan.EvaluateEntity(m.cfg, m.g, op, op.Options[k], m.effUnits(units, lead))
+			ea, err := m.plan.EvaluateEntityDensity(m.cfg, m.g, op, op.Options[k], m.effUnits(units, lead), density)
 			if err != nil {
 				return nil, err
 			}
-			eb, err := m.plan.EvaluateEntity(m.cfg, m.g, partner, partner.Options[k], m.effUnits(units, op.Partner))
+			eb, err := m.plan.EvaluateEntityDensity(m.cfg, m.g, partner, partner.Options[k], m.effUnits(units, op.Partner), density)
 			if err != nil {
 				return nil, err
 			}
@@ -537,7 +552,7 @@ func (m *Machine) prepareJob(seg *sched.Segment, units map[graph.OpID]int) (*job
 		}
 		opt := op.Options[k]
 		v := m.effUnits(units, lead)
-		ev, err := m.plan.EvaluateEntity(m.cfg, m.g, op, opt, v)
+		ev, err := m.plan.EvaluateEntityDensity(m.cfg, m.g, op, opt, v, density)
 		if err != nil {
 			return nil, err
 		}

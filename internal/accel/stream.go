@@ -69,14 +69,11 @@ func (m *Machine) StreamSubmit(b workload.Batch) (*StreamTicket, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.prof.ObserveBatch(units, b.Routing); err != nil {
+	if err := m.prof.ObserveBatchDensity(units, b.Routing, b.Density); err != nil {
 		return nil, err
 	}
 	m.stats.Batches++
-	for _, id := range m.computeOps {
-		op := m.g.Op(id)
-		m.stats.UsefulMACs += op.MACsPerUnit * int64(units[id])
-	}
+	m.accountUsefulMACs(units, b.Density)
 	tk := &StreamTicket{start: m.env.Now(), done: sim.NewSignal(m.env)}
 	plan := m.plan
 	m.env.Go("stream", func(p *sim.Proc) {
@@ -86,7 +83,7 @@ func (m *Machine) StreamSubmit(b workload.Batch) (*StreamTicket, error) {
 			// machine's per-job scratch maps stay single-writer even with
 			// several stream drivers interleaving on the event queue.
 			weightReady := m.hbm.Reserve(seg.WeightBytes)
-			j, err := m.prepareJob(seg, units)
+			j, err := m.prepareJob(seg, units, b.Density)
 			if err != nil {
 				tk.err = err
 				tk.doneAt = p.Now()

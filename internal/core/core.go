@@ -92,6 +92,11 @@ type RunConfig struct {
 	// than once must set it to keep recorder names unique — the trace
 	// writer's determinism contract orders recorders by name.
 	TraceName string
+	// WrapGen, when non-nil, wraps the workload's trace generator right after
+	// construction — the hook the CLIs use to override a model's density
+	// behaviour (workload.NewDensityWalk, workload.NewFixedDensities) without
+	// the model knowing. nil leaves the model's own generator in place.
+	WrapGen func(workload.TraceGen) workload.TraceGen
 }
 
 // ExecWindow is the batch-window granularity every machine design executes
@@ -209,6 +214,9 @@ func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy
 	if err != nil {
 		return nil, err
 	}
+	if rc.WrapGen != nil {
+		w.Gen = rc.WrapGen(w.Gen)
+	}
 	m, err := accel.New(rc.HW, w.Graph, opts)
 	if err != nil {
 		return nil, err
@@ -228,7 +236,7 @@ func Bringup(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy
 		if err != nil {
 			return nil, err
 		}
-		if err := m.Profiler().ObserveBatch(units, b.Routing); err != nil {
+		if err := m.Profiler().ObserveBatchDensity(units, b.Routing, b.Density); err != nil {
 			return nil, err
 		}
 	}
@@ -251,6 +259,9 @@ func run(d Design, modelName string, rc RunConfig, mutate func(*sched.Policy)) (
 		w, err := models.ByName(modelName, rc.Batch)
 		if err != nil {
 			return metrics.RunResult{}, err
+		}
+		if rc.WrapGen != nil {
+			w.Gen = rc.WrapGen(w.Gen)
 		}
 		src := workload.NewSource(rc.Seed)
 		w.GenTrace(src, rc.Warmup, rc.Batch) // keep the measured trace aligned with the machine designs

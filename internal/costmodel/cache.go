@@ -31,6 +31,9 @@ type Cache struct {
 }
 
 // evalKey identifies one Evaluate invocation within a (cfg, graph) scope.
+// density is the quantized density bucket (DensityBucket); the dense Evaluate
+// path always keys the top bucket, so it shares entries with density-1 (and
+// unset-density) EvaluateDensity calls.
 type evalKey struct {
 	op       graph.OpID
 	blk      Blocking
@@ -38,6 +41,7 @@ type evalKey struct {
 	actual   int
 	tiles    int
 	fitting  bool
+	density  uint8
 }
 
 type evalResult struct {
@@ -76,7 +80,8 @@ func (c *Cache) Config() hw.Config { return c.cfg }
 // Evaluate is the memoized form of the package-level Evaluate. Errors are
 // memoized too: they are as deterministic as the values.
 func (c *Cache) Evaluate(op *graph.Op, blk Blocking, compiledUnits, actualUnits, tiles int, fitting bool) (Eval, error) {
-	k := evalKey{op: op.ID, blk: blk, compiled: compiledUnits, actual: actualUnits, tiles: tiles, fitting: fitting}
+	k := evalKey{op: op.ID, blk: blk, compiled: compiledUnits, actual: actualUnits,
+		tiles: tiles, fitting: fitting, density: DensityBuckets}
 	if r, ok := c.eval[k]; ok {
 		c.hits++
 		return r.ev, r.err

@@ -15,8 +15,10 @@ import (
 
 // OpAnalysis is one operator's roofline classification.
 type OpAnalysis struct {
-	Op    graph.OpID
-	Name  string
+	// Op identifies the analyzed operator; Name is its graph name.
+	Op   graph.OpID
+	Name string
+	// Units is the dyn value the analysis was taken at.
 	Units int
 	// FLOPs is the floating-point work at the given dyn value (2 per MAC).
 	FLOPs int64

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDensityOneIsMetamorphicIdentity is the golden-output refresh guard for
+// the sparsity axis: forcing every batch's density to exactly 1.0 through the
+// WrapGen hook must leave every existing model's end-to-end figures
+// byte-identical to the committed goldens. Density 1 short-circuits to the
+// plain dense evaluation at every layer, so any diff here means the density
+// plumbing changed dense-path behavior.
+func TestDensityOneIsMetamorphicIdentity(t *testing.T) {
+	opt := Quick()
+	opt.RC.WrapGen = func(g workload.TraceGen) workload.TraceGen {
+		fd, err := workload.NewFixedDensities(g, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fd
+	}
+	m, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenMatch(t, "figure9_quick.txt", Figure9(m).String())
+	lt, err := LatencyTable(opt, "skipnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenMatch(t, "latency_table_quick.txt", lt.String())
+}
+
+// goldenMatch is golden without the -update escape hatch: this test must
+// match the bytes the dense run committed, never rewrite them.
+func goldenMatch(t *testing.T, name, got string) {
+	t.Helper()
+	old := *update
+	*update = false
+	defer func() { *update = old }()
+	golden(t, name, got)
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// TestMixSourceStampsDensity checks the fleet's request stream carries the
+// density dyn-value end to end: on a density-aware model every request is
+// stamped with a valid density drawn from its class's own generator (the
+// second axis affinity routing separates on), while a routing-only model's
+// requests stay unset so nothing downstream keys on the axis.
+func TestMixSourceStampsDensity(t *testing.T) {
+	src, err := NewMixSource(MixConfig{Model: "gcn", Requests: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if req.Density <= 0 || req.Density > 1 {
+			t.Fatalf("request %d density %v outside (0,1]", req.ID, req.Density)
+		}
+		seen[req.Density] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d requests share one density; the classes' density walks never moved", 200)
+	}
+
+	flat, err := NewMixSource(MixConfig{Model: "moe", Requests: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		req, ok := flat.Next()
+		if !ok {
+			break
+		}
+		if req.Density != 0 {
+			t.Fatalf("routing-only model stamped density %v on request %d", req.Density, req.ID)
+		}
+	}
+}

@@ -107,7 +107,10 @@ func (f *Fleet) decide(req request, elig []int) (int, float64) {
 // queue, then the lower index.
 func (f *Fleet) decideAffinity(req request, elig []int) (int, float64) {
 	if req.key == "" {
-		req.key = f.keyer.RoutingShareKey(req.req.Routing)
+		// The fingerprint includes the request's density on density-aware
+		// models, so sparse traffic steers toward replicas whose plan was
+		// shaped for sparse batches.
+		req.key = f.keyer.RoutingShareKeyDensity(req.req.Routing, req.req.Density)
 	}
 	pick := func(cands []int) (int, float64) {
 		best, bestDist, bestDepth := -1, 0.0, 0

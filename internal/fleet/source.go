@@ -137,6 +137,12 @@ func (s *MixSource) Next() (serve.Request, bool) {
 		Units:   units,
 		Routing: rt,
 	}
+	// Density-aware models draw the request's density from the class's own
+	// generator state, so classes drift apart in sparsity as well as routing —
+	// the second axis plan-affinity routing can separate on.
+	if dg, ok := cls.gen.(workload.DensityGen); ok {
+		req.Density = dg.NextDensity(cls.src)
+	}
 	s.n++
 	return req, true
 }

@@ -8,6 +8,7 @@ import "fmt"
 // mixture-of-experts broadcasts samples) and may appear in none (it was
 // dropped upstream).
 type Routing struct {
+	// Branch lists, per branch, the in-batch unit indices routed to it.
 	Branch [][]int
 }
 

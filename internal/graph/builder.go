@@ -196,7 +196,7 @@ type ConvSpec struct {
 	InC, OutC    int // channels
 	H, W         int // input spatial size
 	R, S         int // filter size
-	Stride, Pad  int
+	Stride, Pad  int // filter stride and input padding
 	BytesPerWord int // defaults to 2 (FP16) when zero
 }
 
@@ -473,6 +473,17 @@ func (b *Builder) SetRef(p Port, apply func(ins []*tensor.Tensor) (*tensor.Tenso
 		return
 	}
 	b.ops[p.op].Ref = &RefSpec{Apply: apply}
+}
+
+// Sparse marks the operator behind a port as density-aware: its runtime cost
+// scales with the batch's density dyn-value in (0,1] (data-dependent
+// sparsity). Model constructors mark their sparse aggregation operators this
+// way; unmarked operators ignore batch density entirely.
+func (b *Builder) Sparse(p Port) {
+	if b.err != nil || p.op == None {
+		return
+	}
+	b.ops[p.op].DensityAware = true
 }
 
 // FindOp returns the ID of the most recently added operator with the given

@@ -76,6 +76,7 @@ var kindNames = map[Kind]string{
 	KindSink:        "sink",
 }
 
+// String returns the kind's lower-case name.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
@@ -103,6 +104,8 @@ func (k Kind) IsCompute() bool {
 // makes the unified batch-dimension representation so convenient for
 // scheduling.
 type Op struct {
+	// ID is the operator's index in Graph.Ops; Name its human-readable
+	// label; Kind the operator class (compute, gate, switch, merge, ...).
 	ID   OpID
 	Name string
 	Kind Kind
@@ -124,6 +127,12 @@ type Op struct {
 	// Dynamism. Dynamic operators are the shaded operators of Figure 5:
 	// their per-batch unit count varies with routing decisions.
 	Dynamic bool
+	// DensityAware marks operators whose cost depends on the batch's runtime
+	// density dyn-value in (0,1] — the data-dependent sparsity axis. MACs and
+	// input traffic scale with density while weights and outputs stay dense,
+	// so sparse batches shift the operator from compute- toward memory-bound.
+	// Density 1 (or an unset batch density) reproduces the dense cost exactly.
+	DensityAware bool
 	// MaxUnits is the worst-case unit count per batch (what the static
 	// M-tile baseline schedules for).
 	MaxUnits int
@@ -172,6 +181,8 @@ func (o *Op) TotalInBytes(units int) int64 { return o.InBytesPerUnit * int64(uni
 // TotalOutBytes returns the activation output bytes for a concrete dyn value.
 func (o *Op) TotalOutBytes(units int) int64 { return o.OutBytesPerUnit * int64(units) }
 
+// String renders the operator as "name#id(kind)" with a dyn(max=N) suffix
+// for dynamic operators.
 func (o *Op) String() string {
 	dyn := ""
 	if o.Dynamic {
@@ -183,6 +194,8 @@ func (o *Op) String() string {
 // Graph is a dynamic operator graph: a DAG of operators with designated
 // input and output operators.
 type Graph struct {
+	// Name labels the graph in reports; Ops holds every operator, indexed
+	// by its OpID.
 	Name string
 	Ops  []*Op
 	// InputUnits is the number of dynamic units entering the graph per batch
@@ -224,6 +237,19 @@ func (g *Graph) DynamicOps() []OpID {
 	var out []OpID
 	for _, op := range g.Ops {
 		if op.Dynamic {
+			out = append(out, op.ID)
+		}
+	}
+	return out
+}
+
+// DensityOps returns the IDs of all density-aware operators — the operators
+// whose cost scales with the batch's runtime density dyn-value. Empty for
+// every purely routing-dynamic model.
+func (g *Graph) DensityOps() []OpID {
+	var out []OpID
+	for _, op := range g.Ops {
+		if op.DensityAware {
 			out = append(out, op.ID)
 		}
 	}

@@ -100,6 +100,8 @@ func ByName(name string, batchSamples int) (*Workload, error) {
 		return AdaViT(batchSamples)
 	case "ranet":
 		return RANet(batchSamples)
+	case "gcn", "gnn":
+		return GCN(batchSamples)
 	}
 	return nil, fmt.Errorf("models: unknown workload %q", name)
 }
@@ -115,6 +117,9 @@ func slowDrift(center, lo, hi, stepSD float64) *workload.Drift {
 	return d
 }
 
+// Names lists the five paper-evaluation workloads (the design matrix rows).
+// ByName additionally accepts the extended models: "adavit", "ranet", and
+// the density-aware "gcn".
 func Names() []string {
 	return []string{"skipnet", "pabee", "fbsnet", "tutel-moe", "dpsnet"}
 }

@@ -935,7 +935,7 @@ func (s *Server) fireBatch(ts *tenantState, now int64) error {
 		req := ts.popHead()
 		batch = []serve.Request{req}
 		samples = req.Samples
-		b = workload.Batch{Index: ts.rep.Batches, Units: req.Units, Routing: req.Routing}
+		b = workload.Batch{Index: ts.rep.Batches, Units: req.Units, Routing: req.Routing, Density: req.Density}
 	} else {
 		for len(ts.queue) > 0 && ts.queue[0].Routing == nil {
 			if len(batch) > 0 && samples+ts.queue[0].Samples > s.cfg.MaxBatch {
@@ -947,6 +947,11 @@ func (s *Server) fireBatch(ts *tenantState, now int64) error {
 		}
 		units := samples * w.Graph.UnitsPerSample
 		b = workload.Batch{Index: ts.rep.Batches, Units: units, Routing: w.Gen.Next(ts.setup.Src, units)}
+		// Like the single-tenant server, the batch's density dyn-value is
+		// drawn at formation time from the tenant's own generator state.
+		if dg, ok := w.Gen.(workload.DensityGen); ok {
+			b.Density = dg.NextDensity(ts.setup.Src)
+		}
 	}
 	m := ts.setup.M
 	start := ts.clock()

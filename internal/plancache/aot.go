@@ -23,6 +23,10 @@ type AOTConfig struct {
 	// TiltLevels are the interpolation weights walked from the base profile
 	// toward each branch's simplex corner (default 0.35 and 0.7).
 	TiltLevels []float64
+	// DensityLevels are the density means pre-solved at the base routing
+	// profile (default 0.25, 0.5, 0.75, 1). Only used on graphs with
+	// density-aware operators; elsewhere the density lattice is empty.
+	DensityLevels []float64
 	// Batches is the synthetic observation window fed per lattice point
 	// (default 40, the paper's reconfiguration period).
 	Batches int
@@ -48,6 +52,9 @@ type AOTConfig struct {
 func (a *AOTConfig) defaults(g *graph.Graph) {
 	if len(a.TiltLevels) == 0 {
 		a.TiltLevels = []float64{0.35, 0.7}
+	}
+	if len(a.DensityLevels) == 0 {
+		a.DensityLevels = []float64{0.25, 0.5, 0.75, 1}
 	}
 	if a.Batches <= 0 {
 		a.Batches = 40
@@ -90,15 +97,26 @@ func (c *Cache) Precompute(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof
 		added++
 	}
 
-	// Profile lattice, solved at the base config over synthetic profiles.
+	// Profile lattice, solved at the base config over synthetic profiles. On
+	// density-aware graphs every routing point is solved at the live density,
+	// and the base routing is additionally walked along the density lattice —
+	// the drift direction the sparsity axis adds.
+	baseDens := prof.OpDensityMean()
 	base := c.baseShares(prof)
 	for si := range c.keyer.sws {
 		for b := 0; b < c.keyer.nb[si]; b++ {
 			for _, tilt := range ao.TiltLevels {
 				shares := tiltShares(base, si, b, tilt)
-				if c.precomputePoint(cfg, g, pol, shares, ao) {
+				if c.precomputePoint(cfg, g, pol, shares, baseDens, ao) {
 					added++
 				}
+			}
+		}
+	}
+	if c.keyer.hasDensity {
+		for _, d := range ao.DensityLevels {
+			if c.precomputePoint(cfg, g, pol, base, d, ao) {
+				added++
 			}
 		}
 	}
@@ -202,10 +220,10 @@ func tiltShares(base [][]float64, si, b int, tilt float64) [][]float64 {
 }
 
 // precomputePoint synthesizes one profile lattice point — a scratch profiler
-// fed Batches synthetic batches routed to the target shares over cloned
-// frequency tables — solves it, and stores the plan. Returns whether a plan
-// was added.
-func (c *Cache) precomputePoint(cfg hw.Config, g *graph.Graph, pol sched.Policy, shares [][]float64, ao AOTConfig) bool {
+// fed Batches synthetic batches routed to the target shares at the target
+// density over cloned frequency tables — solves it, and stores the plan.
+// Returns whether a plan was added.
+func (c *Cache) precomputePoint(cfg hw.Config, g *graph.Graph, pol sched.Policy, shares [][]float64, density float64, ao AOTConfig) bool {
 	rt := c.synthRouting(shares, ao.BatchUnits)
 	units, err := g.AssignUnits(ao.BatchUnits, rt)
 	if err != nil {
@@ -227,7 +245,7 @@ func (c *Cache) precomputePoint(cfg hw.Config, g *graph.Graph, pol sched.Policy,
 	}()
 	sp := profiler.New(g)
 	for b := 0; b < ao.Batches; b++ {
-		if err := sp.ObserveBatch(units, rt); err != nil {
+		if err := sp.ObserveBatchDensity(units, rt, density); err != nil {
 			return false
 		}
 	}

@@ -135,6 +135,13 @@ type Keyer struct {
 	nb     []int
 	dyn    []graph.OpID
 	dims   int
+	// hasDensity gates the density dimension: graphs with density-aware
+	// operators add the quantized windowed density mean to the profile
+	// snapshot and fingerprint, so plans solved for sparse traffic never
+	// collide with plans solved for dense traffic. Routing-only graphs skip
+	// the dimension entirely, keeping their keys byte-identical to before the
+	// sparsity axis existed.
+	hasDensity bool
 }
 
 // NewKeyer builds a keyer for graphs shaped like g, quantizing profile
@@ -146,11 +153,15 @@ func NewKeyer(g *graph.Graph, levels int) *Keyer {
 	if levels > 255 {
 		levels = 255
 	}
-	k := &Keyer{levels: levels, sws: g.Switches(), dyn: g.DynamicOps()}
+	k := &Keyer{levels: levels, sws: g.Switches(), dyn: g.DynamicOps(),
+		hasDensity: len(g.DensityOps()) > 0}
 	k.nb = make([]int, len(k.sws))
 	for i, sw := range k.sws {
 		k.nb[i] = g.Op(sw).NumBranches
 		k.dims += 2 * k.nb[i]
+	}
+	if k.hasDensity {
+		k.dims++
 	}
 	return k
 }
@@ -214,6 +225,11 @@ func (k *Keyer) makeKey(cfg hw.Config, g *graph.Graph, pol sched.Policy, prof *p
 			w64(uint64(freq[i]))
 		}
 	}
+	if k.hasDensity {
+		dens := prof.OpDensityMean()
+		q = append(q, k.quantize(dens))
+		wf(dens)
+	}
 	return key{scope: scope{cfg: cfg, pol: pol}, profile: string(q), fp: h.Sum64()}
 }
 
@@ -256,11 +272,14 @@ type ProfileKey string
 // ProfileKey. Taken right after a plan is solved, it identifies the traffic
 // the plan was shaped for.
 func (k *Keyer) ShareKey(prof *profiler.Profiler) ProfileKey {
-	q := make([]byte, 0, k.dims/2)
+	q := make([]byte, 0, k.dims/2+1)
 	for i, sw := range k.sws {
 		for b := 0; b < k.nb[i]; b++ {
 			q = append(q, k.quantize(prof.BranchUnitShare(sw, b)))
 		}
+	}
+	if k.hasDensity {
+		q = append(q, k.quantize(prof.OpDensityMean()))
 	}
 	return ProfileKey(q)
 }
@@ -268,9 +287,21 @@ func (k *Keyer) ShareKey(prof *profiler.Profiler) ProfileKey {
 // RoutingShareKey snapshots one batch routing's per-switch branch unit
 // shares as a ProfileKey — what ShareKey would converge to over a window of
 // batches routed exactly like rt. This is how the fleet router fingerprints
-// an individual pre-routed request without touching any profiler state.
+// an individual pre-routed request without touching any profiler state. On
+// density-aware graphs the request is taken as dense; requests that carry a
+// density use RoutingShareKeyDensity.
 func (k *Keyer) RoutingShareKey(rt graph.BatchRouting) ProfileKey {
-	q := make([]byte, 0, k.dims/2)
+	return k.RoutingShareKeyDensity(rt, 1)
+}
+
+// RoutingShareKeyDensity is RoutingShareKey with the request's density
+// dyn-value: on density-aware graphs the quantized density joins the key in
+// the same position ShareKey puts the windowed density mean, so a sparse
+// request measures closest to the replica whose plan was shaped for sparse
+// traffic. Routing-only graphs ignore the density (the keys stay the shape
+// they always were). An unset density (<= 0) counts as dense.
+func (k *Keyer) RoutingShareKeyDensity(rt graph.BatchRouting, density float64) ProfileKey {
+	q := make([]byte, 0, k.dims/2+1)
 	for i, sw := range k.sws {
 		branch := rt[sw].Branch
 		total := 0
@@ -284,6 +315,12 @@ func (k *Keyer) RoutingShareKey(rt graph.BatchRouting) ProfileKey {
 			}
 			q = append(q, k.quantize(share))
 		}
+	}
+	if k.hasDensity {
+		if density <= 0 || density > 1 {
+			density = 1
+		}
+		q = append(q, k.quantize(density))
 	}
 	return ProfileKey(q)
 }

@@ -26,6 +26,13 @@ type Profiler struct {
 	// one the serving layer's drift detector compares against its plan.
 	units   map[graph.OpID][]int64
 	batches int64
+
+	// Density window (graphs with density-aware operators only): the sum and
+	// count of observed batch densities since bring-up, halved together by
+	// Reset so the mean is an exponential window like every other statistic.
+	hasDensity bool
+	densSum    float64
+	densCount  float64
 }
 
 // New returns a profiler attached to g. Observations are written into the
@@ -48,6 +55,7 @@ func New(g *graph.Graph) *Profiler {
 		p.active[swID] = make([]int64, n)
 		p.units[swID] = make([]int64, n)
 	}
+	p.hasDensity = len(g.DensityOps()) > 0
 	return p
 }
 
@@ -85,6 +93,37 @@ func (p *Profiler) ObserveBatch(units map[graph.OpID]int, rt graph.BatchRouting)
 	}
 	p.batches++
 	return nil
+}
+
+// ObserveBatchDensity records one batch like ObserveBatch and additionally
+// folds the batch's density dyn-value into the density window. An unset
+// density (<= 0) counts as fully dense; graphs without density-aware
+// operators skip the window entirely, so this is exactly ObserveBatch for
+// every routing-only model.
+func (p *Profiler) ObserveBatchDensity(units map[graph.OpID]int, rt graph.BatchRouting, density float64) error {
+	if err := p.ObserveBatch(units, rt); err != nil {
+		return err
+	}
+	if p.hasDensity {
+		if density <= 0 || density > 1 {
+			density = 1
+		}
+		p.densSum += density
+		p.densCount++
+	}
+	return nil
+}
+
+// OpDensityMean returns the windowed mean density observed across the
+// graph's density-aware operators — the profile statistic the scheduler
+// sizes sparse work by, the drift detector compares against its plan
+// reference, and the plan-cache keyer fingerprints. With no observations (or
+// a graph without density-aware operators) it returns 1: assume dense.
+func (p *Profiler) OpDensityMean() float64 {
+	if p.densCount == 0 {
+		return 1
+	}
+	return p.densSum / p.densCount
 }
 
 // Batches returns the number of batches observed since the last Reset.
@@ -182,4 +221,8 @@ func (p *Profiler) Reset() {
 		}
 	}
 	p.batches /= 2
+	// Halving sum and count together preserves the density mean across the
+	// window boundary while giving post-Reset observations double weight.
+	p.densSum /= 2
+	p.densCount /= 2
 }

@@ -264,6 +264,14 @@ func (p *Plan) Validate(cfg hw.Config, g *graph.Graph) error {
 // Results are memoized in the plan's cache, so per-batch re-evaluations of
 // the same (entity, option, dyn value) are map lookups.
 func (p *Plan) EvaluateEntity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *AllocOption, v int) (costmodel.Eval, error) {
+	return p.EvaluateEntityDensity(cfg, g, op, opt, v, 1)
+}
+
+// EvaluateEntityDensity is EvaluateEntity with the batch's density dyn-value:
+// density-aware operators in the entity are costed at the (quantized)
+// density, every other operator ignores it. Density 1 is exactly
+// EvaluateEntity and shares its memo entries.
+func (p *Plan) EvaluateEntityDensity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *AllocOption, v int, density float64) (costmodel.Eval, error) {
 	c := p.evalCache(cfg)
 	lead := g.Op(op.Lead)
 	var total costmodel.Eval
@@ -272,20 +280,20 @@ func (p *Plan) EvaluateEntity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *Al
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
-		ev, err := c.Evaluate(lead, k.Blocking, k.CompiledUnits, v, opt.Tiles, p.Policy.RuntimeFitting)
+		ev, err := c.EvaluateDensity(lead, k.Blocking, k.CompiledUnits, v, opt.Tiles, p.Policy.RuntimeFitting, density)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
 		total = ev
 	} else if lead.Kind.IsCompute() {
-		ev, err := vectorEval(c, p.Policy, lead, opt.Tiles, v)
+		ev, err := vectorEval(c, p.Policy, lead, opt.Tiles, v, density)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
 		total = ev
 	}
 	for _, fid := range op.Fused {
-		ev, err := vectorEval(c, p.Policy, g.Op(fid), opt.Tiles, v)
+		ev, err := vectorEval(c, p.Policy, g.Op(fid), opt.Tiles, v, density)
 		if err != nil {
 			return costmodel.Eval{}, err
 		}
@@ -300,7 +308,7 @@ func (p *Plan) EvaluateEntity(cfg hw.Config, g *graph.Graph, op *OpPlan, opt *Al
 // vectorEval costs a vector operator with the trivial unit blocking (vector
 // ops have no compiled shape to mismatch; without runtime fitting they still
 // pay the worst case like everything else on the static baseline).
-func vectorEval(c *costmodel.Cache, pol Policy, op *graph.Op, tiles, v int) (costmodel.Eval, error) {
+func vectorEval(c *costmodel.Cache, pol Policy, op *graph.Op, tiles, v int, density float64) (costmodel.Eval, error) {
 	blk := costmodel.Blocking{SplitN: 1, SplitM: 1, NBlk: 1, WeightResident: true}
-	return c.Evaluate(op, blk, op.MaxUnits, v, tiles, pol.RuntimeFitting)
+	return c.EvaluateDensity(op, blk, op.MaxUnits, v, tiles, pol.RuntimeFitting, density)
 }

@@ -1,0 +1,27 @@
+package sched
+
+// KeyedProfileStats is the single source of truth tying the scheduler's
+// profile inputs to the plan-cache fingerprint. Each key names a
+// profiler.Profiler method that Schedule (or a helper on its call path)
+// reads; the value names the profiler statistic family the plancache.Keyer
+// fingerprint must cover so that two profiles producing different plans can
+// never collide on one cache key. A sched source scan test keeps the key set
+// in sync with the code, and a plancache regression test asserts the
+// fingerprint actually distinguishes profiles along every listed family.
+//
+// Schedule additionally reads each dynamic operator's frequency table
+// (graph.Op.Freq: Expectation, Total, Distribution) — table state lives on
+// the graph, not the profiler, and is covered by the fingerprint's
+// "Freq" family (total plus full distribution per dynamic operator).
+var KeyedProfileStats = map[string]string{
+	// Batches gates every profile-dependent branch of the scheduler.
+	"Batches": "Batches",
+	// branchLoadShare caps branch utilization by activation frequency.
+	"BranchActiveFraction": "BranchActiveFraction",
+	// pickSharePair pairs the least co-active branches; the pair choice is a
+	// pure function of the co-activation counters.
+	"LeastCoActivePair": "CoActivation",
+	// planSegment deflates density-aware entities by the windowed density
+	// mean (the data-dependent sparsity axis).
+	"OpDensityMean": "OpDensityMean",
+}

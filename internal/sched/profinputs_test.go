@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestKeyedProfileStatsCoversScheduleReads scans the package source for
+// profiler-method calls and asserts every one is listed in KeyedProfileStats.
+// Adding a new profile input to the scheduler without extending the plan-cache
+// fingerprint would let two profiles that schedule differently collide on one
+// cache key — this test turns that mistake into a build-time failure.
+func TestKeyedProfileStatsCoversScheduleReads(t *testing.T) {
+	call := regexp.MustCompile(`\bprof\.(\w+)\(`)
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string][]string{}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range call.FindAllStringSubmatch(string(src), -1) {
+			seen[m[1]] = append(seen[m[1]], f)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("source scan found no prof.<Method>() calls; the scan regex has rotted")
+	}
+	for method, where := range seen {
+		if _, ok := KeyedProfileStats[method]; !ok {
+			t.Errorf("scheduler reads prof.%s (in %s) but KeyedProfileStats does not list it — the plan-cache fingerprint may be missing a profile input", method, strings.Join(where, ", "))
+		}
+	}
+	// And the inverse: a stale entry means the fingerprint carries dead weight
+	// and the map no longer mirrors the code.
+	for method := range KeyedProfileStats {
+		if _, ok := seen[method]; !ok {
+			t.Errorf("KeyedProfileStats lists %s but no scheduler source calls prof.%s", method, method)
+		}
+	}
+}

@@ -63,7 +63,7 @@ func ExpectedWork(g *graph.Graph, pol Policy) (float64, error) {
 	}
 	var sum float64
 	for _, lead := range order {
-		sum += entityWork(g, ents[lead], pol.FrequencyWeighted)
+		sum += entityWork(g, ents[lead], pol.FrequencyWeighted, 1)
 	}
 	return sum, nil
 }
@@ -191,10 +191,17 @@ func planSegment(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profi
 		}
 	}
 
-	// Expected work per entity (frequency-weighted or worst-case).
+	// Expected work per entity (frequency-weighted or worst-case). The
+	// profile's windowed density mean deflates density-aware operators, so a
+	// sparse workload's aggregation entities stop hoarding tiles their zero
+	// share would waste.
+	dens := 1.0
+	if prof != nil {
+		dens = prof.OpDensityMean()
+	}
 	work := map[graph.OpID]float64{}
 	for _, lead := range leads {
-		work[lead] = entityWork(g, ents[lead], pol.FrequencyWeighted)
+		work[lead] = entityWork(g, ents[lead], pol.FrequencyWeighted, dens)
 		seg.WeightBytes += entityWeights(g, ents[lead])
 	}
 
@@ -278,12 +285,22 @@ func planSegment(cfg hw.Config, g *graph.Graph, pol Policy, prof *profiler.Profi
 	return seg, nil
 }
 
-// entityWork returns the expected MAC load of an entity.
-func entityWork(g *graph.Graph, e *entity, freqWeighted bool) float64 {
-	w := expectedUnits(g.Op(e.lead), freqWeighted) * float64(g.Op(e.lead).MACsPerUnit)
+// entityWork returns the expected MAC load of an entity. densMean is the
+// profile's windowed mean density, applied only to density-aware operators
+// (1 everywhere else and in the no-profile case, so routing-only models are
+// untouched).
+func entityWork(g *graph.Graph, e *entity, freqWeighted bool, densMean float64) float64 {
+	w := opExpectedWork(g.Op(e.lead), freqWeighted, densMean)
 	for _, f := range e.fused {
-		op := g.Op(f)
-		w += expectedUnits(op, freqWeighted) * float64(op.MACsPerUnit)
+		w += opExpectedWork(g.Op(f), freqWeighted, densMean)
+	}
+	return w
+}
+
+func opExpectedWork(op *graph.Op, freqWeighted bool, densMean float64) float64 {
+	w := expectedUnits(op, freqWeighted) * float64(op.MACsPerUnit)
+	if op.DensityAware && densMean > 0 && densMean < 1 {
+		w *= densMean
 	}
 	return w
 }

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// densityDriftConfig serves the GNN workload with its batch densities forced
+// through a step trace: the warmup window runs sparse, so the initial plan is
+// solved against a sparse profile, then live traffic turns dense — the
+// density-drift scenario where a frozen plan underprovisions every
+// density-aware operator.
+func densityDriftConfig(reschedule bool) Config {
+	rc := core.DefaultRunConfig()
+	rc.Batch = 32
+	rc.Warmup = 40
+	rc.Seed = 1
+	rc.WrapGen = func(g workload.TraceGen) workload.TraceGen {
+		// Warmup plus a short post-warmup tail at density 0.2, then dense
+		// forever; the dense run is long enough that the cycled trace is
+		// effectively a single step at this test's request count.
+		ds, err := workload.ParseDensityTrace("0.2x60,1x100000")
+		if err != nil {
+			panic(err)
+		}
+		fd, err := workload.NewFixedDensities(g, ds)
+		if err != nil {
+			panic(err)
+		}
+		return fd
+	}
+	return Config{
+		Model:          "gcn",
+		RC:             rc,
+		MaxBatch:       32,
+		SLOCycles:      600_000,
+		Reschedule:     reschedule,
+		DriftThreshold: 0.02,
+	}
+}
+
+// TestDensityAwareReschedulingBeatsFrozenPlan is the headline check for the
+// data-dependent sparsity axis: the GNN workload under a sparse-to-dense
+// density step, served once with density-drift-triggered re-scheduling and
+// once with the warmup plan frozen, fed the identical arrival stream. The
+// adaptive server must win on tail latency AND on deadline outcomes.
+func TestDensityAwareReschedulingBeatsFrozenPlan(t *testing.T) {
+	src := func() Source { return NewSynthetic(6000, 3_000, 2, nil) }
+	on := mustServe(t, densityDriftConfig(true), src())
+	off := mustServe(t, densityDriftConfig(false), src())
+
+	t.Logf("density-aware:  p50=%.0f p99=%.0f shed=%d missed=%d reschedules=%d",
+		on.Latency.P50, on.Latency.P99, on.Shed, on.Missed, on.Reschedules)
+	t.Logf("frozen plan:    p50=%.0f p99=%.0f shed=%d missed=%d",
+		off.Latency.P50, off.Latency.P99, off.Shed, off.Missed)
+
+	if on.Reschedules == 0 {
+		t.Fatalf("density step never triggered a re-schedule; the drift detector is not watching the density axis")
+	}
+	if off.Reschedules != 0 {
+		t.Fatalf("frozen server re-scheduled %d times", off.Reschedules)
+	}
+	if on.Latency.P99 >= off.Latency.P99 {
+		t.Errorf("p99 with density-aware rescheduling %.0f not lower than frozen %.0f", on.Latency.P99, off.Latency.P99)
+	}
+	if on.Missed+on.Shed >= off.Missed+off.Shed {
+		t.Errorf("deadline misses+shed with rescheduling %d not lower than frozen %d",
+			on.Missed+on.Shed, off.Missed+off.Shed)
+	}
+}
+
+// TestDensityServingDeterministic replays the density-drift scenario at
+// GOMAXPROCS 1 and 4: the per-request outcome log and the report counters
+// must be byte-identical — host parallelism must not leak into the density
+// plumbing any more than into the rest of the simulation (run under -race in
+// CI).
+func TestDensityServingDeterministic(t *testing.T) {
+	run := func(procs int) *Report {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		return mustServe(t, densityDriftConfig(true), NewSynthetic(900, 30_000, 13, nil))
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial.Outcomes) != len(parallel.Outcomes) {
+		t.Fatalf("outcome logs differ in length: %d vs %d", len(serial.Outcomes), len(parallel.Outcomes))
+	}
+	for i := range serial.Outcomes {
+		if serial.Outcomes[i] != parallel.Outcomes[i] {
+			t.Fatalf("outcome %d differs: serial %+v parallel %+v", i, serial.Outcomes[i], parallel.Outcomes[i])
+		}
+	}
+	if serial.FinalCycles != parallel.FinalCycles || serial.Reschedules != parallel.Reschedules {
+		t.Fatalf("report-level divergence: cycles %d/%d reschedules %d/%d",
+			serial.FinalCycles, parallel.FinalCycles, serial.Reschedules, parallel.Reschedules)
+	}
+}

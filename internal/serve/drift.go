@@ -28,8 +28,12 @@ func (dd *DriftDetector) Rebase() { dd.d.Rebase() }
 // active-fraction statistics.
 func (dd *DriftDetector) Divergence() float64 { return dd.d.Divergence() }
 
-// Parts returns the two drift statistics separately (volume, presence).
-func (dd *DriftDetector) Parts() (share, active float64) { return dd.d.divergenceParts() }
+// Parts returns the three drift statistics separately (volume, presence,
+// density). The density part is always 0 for graphs without density-aware
+// operators.
+func (dd *DriftDetector) Parts() (share, active, density float64) {
+	return dd.d.divergenceParts()
+}
 
 // detector watches the on-chip profiler for distribution drift relative to
 // the profile the current plan was scheduled from. It snapshots two
@@ -45,10 +49,16 @@ type detector struct {
 	// the last Rebase, indexed like sws.
 	baseShare  [][]float64
 	baseActive [][]float64
+	// hasDensity gates the density drift part: graphs with density-aware
+	// operators additionally snapshot the windowed density mean, so a
+	// density-only shift (routing unchanged, batches sparser or denser)
+	// triggers a re-plan like any routing drift.
+	hasDensity  bool
+	baseDensity float64
 }
 
 func newDetector(g *graph.Graph, prof *profiler.Profiler) *detector {
-	d := &detector{prof: prof, sws: g.Switches()}
+	d := &detector{prof: prof, sws: g.Switches(), hasDensity: len(g.DensityOps()) > 0}
 	d.nb = make([]int, len(d.sws))
 	d.baseShare = make([][]float64, len(d.sws))
 	d.baseActive = make([][]float64, len(d.sws))
@@ -70,31 +80,35 @@ func (d *detector) Rebase() {
 			d.baseActive[i][k] = d.prof.BranchActiveFraction(sw, k)
 		}
 	}
+	if d.hasDensity {
+		d.baseDensity = d.prof.OpDensityMean()
+	}
 }
 
 // Divergence returns the drift of the live profile since the last Rebase:
 // the mean absolute per-branch difference, computed separately for unit
-// shares and active fractions and maxed over the two statistics. 0 for
-// graphs without switches.
+// shares, active fractions and (on density-aware graphs) the windowed density
+// mean, maxed over the statistics. 0 for static graphs.
 func (d *detector) Divergence() float64 {
-	_, _, div := d.evaluate()
+	_, _, _, div := d.evaluate()
 	return div
 }
 
-// evaluate computes one drift check: both per-branch statistics plus their
-// max — the single place the two statistics are combined, shared by the
-// trigger decision, the telemetry drift-eval instant, and Divergence.
-func (d *detector) evaluate() (share, active, div float64) {
-	share, active = d.divergenceParts()
-	return share, active, math.Max(share, active)
+// evaluate computes one drift check: every drift statistic plus their max —
+// the single place the statistics are combined, shared by the trigger
+// decision, the telemetry drift-eval instant, and Divergence.
+func (d *detector) evaluate() (share, active, density, div float64) {
+	share, active, density = d.divergenceParts()
+	return share, active, density, math.Max(math.Max(share, active), density)
 }
 
-// divergenceParts returns the two per-branch drift statistics separately:
-// the mean absolute unit-share difference (volume) and the mean absolute
-// active-fraction difference (presence). Divergence maxes over them; the
-// telemetry drift-eval events record both, so a trace shows which statistic
-// triggered (or failed to trigger) a re-plan.
-func (d *detector) divergenceParts() (share, active float64) {
+// divergenceParts returns the drift statistics separately: the mean absolute
+// unit-share difference (volume), the mean absolute active-fraction
+// difference (presence), and the absolute density-mean difference (sparsity;
+// 0 for graphs without density-aware operators). Divergence maxes over them;
+// the telemetry drift-eval events record all three, so a trace shows which
+// statistic triggered (or failed to trigger) a re-plan.
+func (d *detector) divergenceParts() (share, active, density float64) {
 	n := 0
 	for i, sw := range d.sws {
 		for k := 0; k < d.nb[i]; k++ {
@@ -103,8 +117,11 @@ func (d *detector) divergenceParts() (share, active float64) {
 			n++
 		}
 	}
-	if n == 0 {
-		return 0, 0
+	if d.hasDensity {
+		density = math.Abs(d.prof.OpDensityMean() - d.baseDensity)
 	}
-	return share / float64(n), active / float64(n)
+	if n == 0 {
+		return 0, 0, density
+	}
+	return share / float64(n), active / float64(n), density
 }

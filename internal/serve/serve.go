@@ -676,7 +676,7 @@ func (s *Server) fireBatch(now int64) error {
 		// Replayed request: its routing is fixed, it is its own batch.
 		req := s.popHead()
 		batch = []Request{req}
-		b = workload.Batch{Index: s.rep.Batches, Units: req.Units, Routing: req.Routing}
+		b = workload.Batch{Index: s.rep.Batches, Units: req.Units, Routing: req.Routing, Density: req.Density}
 	} else {
 		samples := 0
 		for len(s.queue) > 0 && s.queue[0].Routing == nil {
@@ -691,6 +691,11 @@ func (s *Server) fireBatch(now int64) error {
 		// Routing is decided at batch-formation time for the batch's actual
 		// size, by the workload's (drifting) generator.
 		b = workload.Batch{Index: s.rep.Batches, Units: units, Routing: w.Gen.Next(s.setup.Src, units)}
+		// The density dyn-value is drawn at batch-formation time like the
+		// routing: one density per batch, from the workload's drifting walk.
+		if dg, ok := w.Gen.(workload.DensityGen); ok {
+			b.Density = dg.NextDensity(s.setup.Src)
+		}
 	}
 	if err := s.setup.M.Run([]workload.Batch{b}); err != nil {
 		return err
@@ -734,15 +739,15 @@ func (s *Server) fireBatch(now int64) error {
 // lands on the machine clock, exactly like the periodic reconfiguration of
 // the offline runner.
 func (s *Server) maybeReschedule() error {
-	share, active, div := s.det.evaluate()
+	share, active, density, div := s.det.evaluate()
 	if div > s.rep.MaxDivergence {
 		s.rep.MaxDivergence = div
 	}
 	cooling := s.sinceResched < s.cfg.CooldownBatches
 	triggered := !cooling && div >= s.cfg.DriftThreshold
 	if s.rec.Enabled() {
-		// One instant per drift check, whether or not it fires: both branch
-		// statistics the detector maxes over, the threshold, and what the
+		// One instant per drift check, whether or not it fires: every branch
+		// statistic the detector maxes over, the threshold, and what the
 		// check decided. A trace therefore shows which statistic pushed a
 		// re-plan — and how close the quiet checks came. The cost-model
 		// memo counters ride along at the same cadence, so a trace also
@@ -752,6 +757,17 @@ func (s *Server) maybeReschedule() error {
 			telemetry.F("share", share), telemetry.F("active", active),
 			telemetry.F("divergence", div), telemetry.F("threshold", s.cfg.DriftThreshold),
 			telemetry.I("cooldown", boolArg(cooling)), telemetry.I("triggered", boolArg(triggered)))
+		if s.det.hasDensity {
+			// Density-aware graphs additionally record the sparsity axis at the
+			// same cadence: the live windowed density mean, its plan-time
+			// reference, and the resulting drift part. A density-only shift
+			// shows up here first, before the combined divergence crosses the
+			// threshold.
+			s.rec.Instant(s.driftTrack, "drift", "density-eval", ts,
+				telemetry.F("density_mean", s.setup.M.Profiler().OpDensityMean()),
+				telemetry.F("base_density", s.det.baseDensity),
+				telemetry.F("density_drift", density))
+		}
 		ch, cm := s.setup.Plan.CacheStats()
 		s.rec.Counter(s.driftTrack, "drift", "costmodel_hits", ts, ch)
 		s.rec.Counter(s.driftTrack, "drift", "costmodel_misses", ts, cm)

@@ -22,6 +22,11 @@ type Request struct {
 	// batch-formation time, once the batch's actual size is known.
 	Units   int
 	Routing graph.BatchRouting
+	// Density is the request's density dyn-value in (0,1] for pre-routed
+	// requests (replay, fleet); zero means unset — batch formation draws a
+	// density from the generator instead (when it implements
+	// workload.DensityGen), or the batch runs dense.
+	Density float64
 }
 
 // Source produces the timestamped request stream a Server admits. Requests
@@ -100,7 +105,7 @@ func (r *Replay) Next() (Request, bool) {
 	}
 	b := r.batches[r.i]
 	r.clock += -math.Log(1-r.src.Float64()) * r.meanGap
-	req := Request{ID: r.i, Arrival: int64(r.clock), Units: b.Units, Routing: b.Routing}
+	req := Request{ID: r.i, Arrival: int64(r.clock), Units: b.Units, Routing: b.Routing, Density: b.Density}
 	r.i++
 	return req, true
 }

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Density trace machinery: wrappers that attach a density dyn-value stream to
+// any routing generator, and the parser for explicit density traces given on
+// the command line or in trace files.
+
+// DensityWalk wraps a routing generator with a bounded-random-walk density
+// stream — the same drift model the branch-routing generators use, applied to
+// the sparsity axis. It implements DensityGen; the wrapped generator's
+// routing behavior is unchanged.
+type DensityWalk struct {
+	TraceGen
+	walk *Drift
+}
+
+// NewDensityWalk attaches a density walk to gen: the density starts at
+// center and walks within [lo, hi] ⊂ (0,1] with per-batch step sd. Bounds
+// are clamped into (0,1] so the walk can never emit an invalid density.
+func NewDensityWalk(gen TraceGen, center, lo, hi, sd float64) *DensityWalk {
+	if lo <= 0 {
+		lo = 0.01
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if center < lo {
+		center = lo
+	}
+	if center > hi {
+		center = hi
+	}
+	return &DensityWalk{TraceGen: gen, walk: NewDrift(center, lo, hi, sd)}
+}
+
+// NextDensity implements DensityGen.
+func (d *DensityWalk) NextDensity(src *Source) float64 { return d.walk.Step(src) }
+
+// FixedDensities wraps a routing generator with an explicit density trace,
+// cycled when the stream outlives it. It implements DensityGen.
+type FixedDensities struct {
+	TraceGen
+	trace []float64
+	i     int
+}
+
+// NewFixedDensities attaches an explicit density trace (e.g. one parsed by
+// ParseDensityTrace) to gen. The trace must be non-empty and every value in
+// (0,1].
+func NewFixedDensities(gen TraceGen, trace []float64) (*FixedDensities, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("workload: empty density trace")
+	}
+	for i, d := range trace {
+		if !(d > 0 && d <= 1) { // also rejects NaN
+			return nil, fmt.Errorf("workload: density trace value %d is %v, want (0,1]", i, d)
+		}
+	}
+	return &FixedDensities{TraceGen: gen, trace: trace}, nil
+}
+
+// NextDensity implements DensityGen.
+func (f *FixedDensities) NextDensity(*Source) float64 {
+	d := f.trace[f.i%len(f.trace)]
+	f.i++
+	return d
+}
+
+// ParseDensityTrace parses a textual density trace: density values separated
+// by commas and/or whitespace, each in (0,1]. A value may carry a "xN" repeat
+// suffix ("0.25x16" expands to sixteen batches at density 0.25), which keeps
+// hand-written drift scenarios short. The empty string is an error.
+func ParseDensityTrace(s string) ([]float64, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	var out []float64
+	for _, f := range fields {
+		val, rep, err := parseDensityField(f)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rep; i++ {
+			out = append(out, val)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty density trace %q", s)
+	}
+	return out, nil
+}
+
+// maxDensityRepeat bounds one field's "xN" expansion so a hostile trace
+// cannot balloon memory.
+const maxDensityRepeat = 1 << 20
+
+func parseDensityField(f string) (val float64, rep int, err error) {
+	rep = 1
+	if base, count, ok := strings.Cut(f, "x"); ok {
+		rep, err = strconv.Atoi(count)
+		if err != nil || rep < 1 || rep > maxDensityRepeat {
+			return 0, 0, fmt.Errorf("workload: bad density repeat %q", f)
+		}
+		f = base
+	}
+	val, err = strconv.ParseFloat(f, 64)
+	if err != nil || math.IsNaN(val) {
+		return 0, 0, fmt.Errorf("workload: bad density %q", f)
+	}
+	if val <= 0 || val > 1 {
+		return 0, 0, fmt.Errorf("workload: density %v outside (0,1]", val)
+	}
+	return val, rep, nil
+}

@@ -26,17 +26,21 @@ type Recording struct {
 
 // RecordedBatch is the JSON form of one Batch.
 type RecordedBatch struct {
+	// Units is the batch's dynamic unit count.
 	Units int `json:"units"`
 	// Routing maps the switch operator ID (as a string, JSON object keys)
 	// to the per-branch unit index lists.
 	Routing map[string][][]int `json:"routing"`
+	// Density is the batch's density dyn-value in (0,1]; omitted (zero) for
+	// dense batches, so recordings of routing-only models are unchanged.
+	Density float64 `json:"density,omitempty"`
 }
 
 // Record converts generated batches into a serializable recording.
 func Record(model string, batchSamples int, seed int64, batches []Batch) *Recording {
 	rec := &Recording{Model: model, BatchSamples: batchSamples, Seed: seed}
 	for _, b := range batches {
-		rb := RecordedBatch{Units: b.Units, Routing: map[string][][]int{}}
+		rb := RecordedBatch{Units: b.Units, Routing: map[string][][]int{}, Density: b.Density}
 		for sw, r := range b.Routing {
 			rb.Routing[strconv.Itoa(int(sw))] = r.Branch
 		}
@@ -68,7 +72,10 @@ func (rec *Recording) Replay() ([]Batch, error) {
 			}
 			rt[graph.OpID(id)] = graph.Routing{Branch: branches}
 		}
-		out = append(out, Batch{Index: i, Units: rb.Units, Routing: rt})
+		if rb.Density < 0 || rb.Density > 1 {
+			return nil, fmt.Errorf("workload: batch %d has density %v outside (0,1]", i, rb.Density)
+		}
+		out = append(out, Batch{Index: i, Units: rb.Units, Routing: rt, Density: rb.Density})
 	}
 	return out, nil
 }
@@ -91,6 +98,7 @@ func LoadRecording(r io.Reader) (*Recording, error) {
 
 // SwitchStats summarizes one switch's routing behaviour over a trace.
 type SwitchStats struct {
+	// Switch identifies the switch operator the statistics describe.
 	Switch graph.OpID
 	// BranchMean is the mean unit count per branch per batch.
 	BranchMean []float64

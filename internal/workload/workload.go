@@ -85,11 +85,14 @@ func (s *Source) JitterProb(base, sd float64) float64 {
 // Drift is a bounded random walk, modelling the slow shifts in value
 // distributions over time that make periodic re-sampling worthwhile.
 type Drift struct {
-	Value     float64
-	Lo, Hi    float64
+	// Value is the walk's current position, clamped to [Lo, Hi].
+	Value  float64
+	Lo, Hi float64
+	// StepSD is the per-step Gaussian standard deviation.
 	StepSD    float64
 	Reverting float64 // pull-back strength toward Center per step
-	Center    float64
+	// Center is where the walk started and what Reverting pulls toward.
+	Center float64
 }
 
 // NewDrift returns a random walk starting at center.
@@ -183,12 +186,19 @@ func (s *Source) SampleTopK(weights []float64, k int) []int {
 	return out
 }
 
-// Batch is one generated inference batch: its unit count and the routing
-// decision of every switch in the graph.
+// Batch is one generated inference batch: its unit count, the routing
+// decision of every switch in the graph, and its density dyn-value.
 type Batch struct {
+	// Index is the batch's position in its trace; Units its dynamic unit
+	// count; Routing every switch's branch decision for the batch.
 	Index   int
 	Units   int
 	Routing graph.BatchRouting
+	// Density is the batch's data-dependent sparsity in (0,1]: the fraction
+	// of nominal work that is nonzero in the batch's density-aware operators.
+	// Zero means unset and is treated as fully dense (1.0) everywhere, so
+	// routing-only models never touch the axis.
+	Density float64
 }
 
 // TraceGen produces the routing for successive batches of a specific model.
@@ -198,20 +208,39 @@ type TraceGen interface {
 	Next(src *Source, batchUnits int) graph.BatchRouting
 }
 
-// Trace generates n consecutive batches from gen.
+// DensityGen is the optional TraceGen extension for models with
+// data-dependent sparsity: a generator that also draws each batch's density
+// dyn-value. Callers type-assert, so routing-only generators are untouched.
+type DensityGen interface {
+	TraceGen
+	// NextDensity draws the density of the next batch in (0,1]. Called once
+	// per batch, after Next, from the same deterministic source.
+	NextDensity(src *Source) float64
+}
+
+// Trace generates n consecutive batches from gen. Generators implementing
+// DensityGen stamp each batch's density; others leave it unset (dense).
 func Trace(gen TraceGen, src *Source, n, batchUnits int) []Batch {
+	dg, _ := gen.(DensityGen)
 	out := make([]Batch, n)
 	for i := range out {
 		out[i] = Batch{Index: i, Units: batchUnits, Routing: gen.Next(src, batchUnits)}
+		if dg != nil {
+			out[i].Density = dg.NextDensity(src)
+		}
 	}
 	return out
 }
 
-// Validate checks every batch's routing against the graph.
+// Validate checks every batch's routing against the graph, and that each
+// batch's density is unset or in (0,1].
 func Validate(g *graph.Graph, batches []Batch, exclusive bool) error {
 	for _, b := range batches {
 		if err := g.ValidateRouting(b.Units, b.Routing, exclusive); err != nil {
 			return fmt.Errorf("workload: batch %d: %w", b.Index, err)
+		}
+		if b.Density < 0 || b.Density > 1 {
+			return fmt.Errorf("workload: batch %d: density %v outside (0,1]", b.Index, b.Density)
 		}
 	}
 	return nil
